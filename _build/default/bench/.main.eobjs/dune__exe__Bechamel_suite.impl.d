@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Gc Hashtbl Instance Lf_baselines Lf_kernel Lf_list Lf_skiplist Lf_workload List Measure Option Printf Staged Tables Test Time Toolkit

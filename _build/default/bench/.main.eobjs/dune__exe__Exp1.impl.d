@@ -1,0 +1,1 @@
+bench/exp1.ml: Lf_scenarios List Printf Tables

@@ -1,0 +1,1 @@
+bench/exp10.ml: Lf_baselines Lf_dsim Lf_kernel Lf_lin Lf_list Lf_skiplist Lf_workload List Tables

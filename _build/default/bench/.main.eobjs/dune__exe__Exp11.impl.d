@@ -1,0 +1,1 @@
+bench/exp11.ml: Lf_dsim Lf_hashtable Lf_list Lf_skiplist Lf_workload List Printf Tables

@@ -1,0 +1,1 @@
+bench/exp12.ml: Domain Lf_baselines Lf_kernel Lf_pqueue List Printf Tables Unix

@@ -1,0 +1,1 @@
+bench/exp14.ml: Domain Lf_dsim Lf_kernel Lf_list Lf_skiplist Lf_workload List Printf Tables

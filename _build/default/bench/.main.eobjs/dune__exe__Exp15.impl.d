@@ -1,0 +1,1 @@
+bench/exp15.ml: Array Lf_dsim Lf_kernel Lf_scenarios Lf_skiplist List Printf Tables

@@ -1,0 +1,1 @@
+bench/exp3.ml: Array Lf_kernel Lf_scenarios List Printf Tables

@@ -1,0 +1,1 @@
+bench/exp4.ml: Format Lf_baselines Lf_list Lf_workload List Printf Tables

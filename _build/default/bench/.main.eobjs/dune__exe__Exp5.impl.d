@@ -1,0 +1,1 @@
+bench/exp5.ml: Format Lf_skiplist Lf_workload List Printf Tables

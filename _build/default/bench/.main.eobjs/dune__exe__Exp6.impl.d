@@ -1,0 +1,1 @@
+bench/exp6.ml: Array Float Lf_dsim Lf_kernel Lf_list Lf_skiplist List Printf Tables

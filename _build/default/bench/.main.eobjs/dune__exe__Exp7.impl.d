@@ -1,0 +1,1 @@
+bench/exp7.ml: Array Hashtbl Lf_dsim Lf_kernel Lf_skiplist List Printf Tables

@@ -1,0 +1,1 @@
+bench/exp8.ml: Lf_dsim Lf_kernel Lf_list Lf_workload List Printf Tables

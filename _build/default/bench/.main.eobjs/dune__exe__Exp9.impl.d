@@ -1,0 +1,1 @@
+bench/exp9.ml: Array Lf_kernel Lf_scenarios List Printf Tables

@@ -1,0 +1,1 @@
+bench/figs.ml: Format Lf_baselines Lf_dsim Lf_kernel Lf_list List Printf Tables

@@ -1,0 +1,1 @@
+bench/main.ml: Array Bechamel_suite Exp1 Exp10 Exp11 Exp12 Exp13 Exp14 Exp15 Exp2 Exp3 Exp4 Exp5 Exp6 Exp7 Exp8 Exp9 Figs List Printf Sys Unix

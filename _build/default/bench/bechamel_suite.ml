@@ -1,0 +1,123 @@
+(* Per-operation latency microbenchmarks (Bechamel): one Test.make per
+   implementation, measuring a mixed insert/find/delete cycle on a prefilled
+   structure.  Complements the experiment tables with real-time costs of the
+   same operations the tables count in steps. *)
+
+open Bechamel
+open Toolkit
+
+let make_cycle (module D : Lf_workload.Runner.INT_DICT) key_range =
+  let t = D.create () in
+  let rng = Lf_kernel.Splitmix.create 1 in
+  let inserted = ref 0 in
+  while !inserted < key_range / 2 do
+    if D.insert t (Lf_kernel.Splitmix.int rng key_range) 0 then incr inserted
+  done;
+  let i = ref 0 in
+  Test.make ~name:D.name
+    (Staged.stage (fun () ->
+         (* One deterministic mixed cycle per run. *)
+         incr i;
+         let k = (!i * 7919) land (key_range - 1) in
+         ignore (D.insert t k 0);
+         ignore (D.find t ((!i * 104729) land (key_range - 1)));
+         ignore (D.delete t ((!i * 31) land (key_range - 1)))))
+
+let list_impls : (module Lf_workload.Runner.INT_DICT) list =
+  [
+    (module Lf_list.Fr_list.Atomic_int);
+    (module Lf_baselines.Harris_list.Atomic_int);
+    (module Lf_baselines.Michael_list.Atomic_int);
+    (module Lf_baselines.Valois_list.Atomic_int);
+    (module Lf_baselines.Lazy_list.Int);
+    (module Lf_baselines.Coarse_list.Int);
+    (module Lf_baselines.Seq_list.Int);
+  ]
+
+let skiplist_impls : (module Lf_workload.Runner.INT_DICT) list =
+  [
+    (module Lf_skiplist.Fr_skiplist.Atomic_int);
+    (module Lf_skiplist.Fraser_skiplist.Atomic_int);
+    (module Lf_skiplist.St_skiplist.Atomic_int);
+    (module Lf_skiplist.Locked_skiplist.Int);
+    (module Lf_skiplist.Seq_skiplist.Int);
+  ]
+
+(* Time per cycle via Bechamel OLS; minor-heap allocation per cycle measured
+   directly with [Gc.minor_words] (Bechamel's minor_allocated instance
+   reports zero on this runtime).  Allocation matters here: every successful
+   C&S in the descriptor encoding allocates a fresh record, and the paper's
+   Section 5 memory-management discussion is subsumed by the GC - this
+   measures what that costs. *)
+let analyze tests =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:None () in
+  let raw = Benchmark.all cfg instances tests in
+  Analyze.all ols Instance.monotonic_clock raw
+
+let words_per_cycle (module D : Lf_workload.Runner.INT_DICT) key_range =
+  let t = D.create () in
+  let rng = Lf_kernel.Splitmix.create 1 in
+  let inserted = ref 0 in
+  while !inserted < key_range / 2 do
+    if D.insert t (Lf_kernel.Splitmix.int rng key_range) 0 then incr inserted
+  done;
+  let cycles = 20_000 in
+  let before = Gc.minor_words () in
+  for i = 1 to cycles do
+    ignore (D.insert t ((i * 7919) land (key_range - 1)) 0);
+    ignore (D.find t ((i * 104729) land (key_range - 1)));
+    ignore (D.delete t ((i * 31) land (key_range - 1)))
+  done;
+  (Gc.minor_words () -. before) /. float_of_int cycles
+
+let estimate results name =
+  match Hashtbl.find_opt results name with
+  | None -> (nan, nan)
+  | Some ols ->
+      let est =
+        match Analyze.OLS.estimates ols with Some [ e ] -> e | _ -> nan
+      in
+      (est, Option.value ~default:nan (Analyze.OLS.r_square ols))
+
+let print_results title group times impls key_range =
+  Tables.subsection title;
+  let widths = [ 20; 12; 8; 14 ] in
+  Tables.row widths [ "impl"; "ns/cycle"; "r2"; "words/cycle" ];
+  let rows =
+    List.map
+      (fun (module D : Lf_workload.Runner.INT_DICT) ->
+        let name = group ^ "/" ^ D.name in
+        let ns, r2 = estimate times name in
+        let words = words_per_cycle (module D) key_range in
+        (name, ns, r2, words))
+      impls
+  in
+  List.iter
+    (fun (name, ns, r2, words) ->
+      Tables.row widths
+        [
+          name;
+          Printf.sprintf "%.0f" ns;
+          Printf.sprintf "%.3f" r2;
+          Printf.sprintf "%.1f" words;
+        ])
+    (List.sort (fun (_, a, _, _) (_, b, _, _) -> compare a b) rows)
+
+let run () =
+  Tables.section
+    "MICRO  Bechamel per-op latency (1 insert + 1 find + 1 delete, n=512)";
+  let lists =
+    Test.make_grouped ~name:"lists" (List.map (fun d -> make_cycle d 1024) list_impls)
+  in
+  print_results "linked lists (1024-key range, half full)" "lists"
+    (analyze lists) list_impls 1024;
+  let sls =
+    Test.make_grouped ~name:"skiplists"
+      (List.map (fun d -> make_cycle d 8192) skiplist_impls)
+  in
+  print_results "skip lists (8192-key range, half full)" "skiplists"
+    (analyze sls) skiplist_impls 8192

@@ -1,0 +1,47 @@
+(* EXP-1: validation of the amortized bound (Sections 1, 3.4).
+
+   The paper proves that the amortized cost of an operation S on the linked
+   list is O(n(S) + c(S)), hence for any execution the total essential cost
+   (C&S attempts + backlink traversals + next/curr pointer updates) is at
+   most K * sum over ops of (n(S) + c(S)) for a fixed constant K.
+
+   We sweep processes q, initial size n0 and schedules, measure both sides
+   in the simulator (engine: Lf_scenarios.Scenarios.exp1_run), and report
+   the ratio - it must stay below a constant across the whole sweep. *)
+
+let run () =
+  Tables.section
+    "EXP-1  Amortized bound: total essential steps <= K * sum(n(S) + c(S))";
+  let widths = [ 4; 6; 6; 12; 12; 8 ] in
+  Tables.row widths [ "q"; "n0"; "ops"; "essential"; "sum(n+c)"; "ratio" ];
+  let worst = ref 0.0 in
+  List.iter
+    (fun q ->
+      List.iter
+        (fun n0 ->
+          let essential = ref 0 and bound = ref 0 and nops = ref 0 in
+          List.iter
+            (fun seed ->
+              let e, b, o = Lf_scenarios.Scenarios.exp1_run ~q ~n0 ~seed in
+              essential := !essential + e;
+              bound := !bound + b;
+              nops := !nops + o)
+            [ 1; 2; 3 ];
+          let ratio = float_of_int !essential /. float_of_int (max 1 !bound) in
+          if ratio > !worst then worst := ratio;
+          Tables.row widths
+            [
+              string_of_int q;
+              string_of_int n0;
+              string_of_int !nops;
+              string_of_int !essential;
+              string_of_int !bound;
+              Printf.sprintf "%.3f" ratio;
+            ])
+        [ 0; 10; 50; 200; 1000 ])
+    [ 2; 4; 8; 16 ];
+  Tables.note "worst ratio observed: %.3f (paper: bounded by a constant K)"
+    !worst;
+  Tables.note
+    "PASS criterion: ratio does not grow with q or n0 (compare columns).";
+  !worst

@@ -1,0 +1,50 @@
+(* EXP-13: skip-list recovery under the Section 3.1 adversary.
+
+   The paper (Section 4): "Other recent lock-free skip list designs [2, 15]
+   implement individual levels using linked list algorithms that can
+   exhibit bad worst-case behaviour, as described in Section 3.1" - i.e.
+   they restart a search when a C&S fails.  For a skip list a restart costs
+   Theta(log n) rather than the list's Theta(n), which is exactly why the
+   paper's worst-case skip-list analysis remains open; this experiment
+   measures that gap.
+
+   Engine: Lf_scenarios.Scenarios.sl_tail_adversary - the EXP-2 schedule
+   lifted to skip lists, with a perfect (trailing-zeros) height profile so
+   searches are genuinely Theta(log n) deep. *)
+
+module S = Lf_scenarios.Scenarios
+
+let run () =
+  Tables.section
+    "EXP-13  Skip-list tail adversary: local recovery vs restart-from-top";
+  let widths = [ 6; 3; 14; 16; 10 ] in
+  Tables.row widths [ "n"; "q"; "fr rec/round"; "fraser rec/round"; "ratio" ];
+  let fr_pts = ref [] and fz_pts = ref [] in
+  List.iter
+    (fun n ->
+      let q = 4 in
+      let rounds = min (n / 2) 64 in
+      let fr = S.sl_tail_adversary ~n ~q ~rounds S.fr_sl_target in
+      let fz = S.sl_tail_adversary ~n ~q ~rounds S.fraser_sl_target in
+      fr_pts := (log (float_of_int n) /. log 2.0, fr) :: !fr_pts;
+      fz_pts := (log (float_of_int n) /. log 2.0, fz) :: !fz_pts;
+      Tables.row widths
+        [
+          string_of_int n;
+          string_of_int q;
+          Printf.sprintf "%.1f" fr;
+          Printf.sprintf "%.1f" fz;
+          Printf.sprintf "%.1fx" (fz /. fr);
+        ])
+    [ 64; 256; 1024; 4096 ];
+  let _, fr_slope, _ = Lf_kernel.Stats.linear_fit (Array.of_list !fr_pts) in
+  let _, fz_slope, _ = Lf_kernel.Stats.linear_fit (Array.of_list !fz_pts) in
+  Tables.note "recovery cost vs log2 n (linear-fit slope):";
+  Tables.note "  fomitchev-ruppert: %.2f steps/level (local backlink, ~0)"
+    fr_slope;
+  Tables.note "  fraser-style:      %.2f steps/level (restart-from-top, >0)"
+    fz_slope;
+  Tables.note
+    "the gap is log n, not n as for lists - why the paper leaves skip-list";
+  Tables.note "worst-case complexity open (Section 4).";
+  (fr_slope, fz_slope)

@@ -1,0 +1,68 @@
+(* EXP-2: the Section 3.1 adversarial execution.
+
+   Construction (verbatim from the paper): insert n keys; one process P_q
+   repeatedly deletes the last node of the list while processes
+   P_1 .. P_{q-1} attempt to insert new nodes at the end.  In each round the
+   deleter marks the last node right after the inserters have located their
+   insertion position but before any of them performs its C&S.
+
+   Harris's list restarts every failed inserter from the head, so each round
+   costs Omega(q * n) and the average cost per operation is
+   Omega(n-bar * c-bar).  The Fomitchev-Ruppert list recovers through one
+   backlink, so the same schedule costs O(n + q) per round and the average
+   stays O(n-bar + c-bar).
+
+   Engine: Lf_scenarios.Scenarios.tail_adversary (shared with the
+   regression tests that lock this separation in). *)
+
+module S = Lf_scenarios.Scenarios
+
+let run () =
+  Tables.section
+    "EXP-2  Section 3.1 adversary: inserters at the tail vs a tail deleter";
+  Tables.note
+    "per-round inserter recovery cost: Harris/Michael restart from the head";
+  Tables.note
+    "(cost ~ n), Fomitchev-Ruppert follows one backlink (cost ~ const).";
+  print_newline ();
+  let widths = [ 5; 3; 7; 14; 14; 14; 10 ] in
+  Tables.row widths
+    [ "n"; "q"; "rounds"; "fr rec/round"; "ha rec/round"; "mi rec/round"; "ha/fr" ];
+  let shape = ref [] in
+  List.iter
+    (fun n ->
+      List.iter
+        (fun q ->
+          let rounds = n / 2 in
+          let _, fr_rec, _ = S.tail_adversary ~n ~q ~rounds S.fr_list_target in
+          let _, ha_rec, _ =
+            S.tail_adversary ~n ~q ~rounds S.harris_list_target
+          in
+          let _, mi_rec, _ =
+            S.tail_adversary ~n ~q ~rounds S.michael_list_target
+          in
+          shape := (n, q, fr_rec, ha_rec) :: !shape;
+          Tables.row widths
+            [
+              string_of_int n;
+              string_of_int q;
+              string_of_int rounds;
+              Printf.sprintf "%.1f" fr_rec;
+              Printf.sprintf "%.1f" ha_rec;
+              Printf.sprintf "%.1f" mi_rec;
+              Printf.sprintf "%.1fx" (ha_rec /. fr_rec);
+            ])
+        [ 2; 4; 8 ])
+    [ 32; 64; 128; 256 ];
+  let pts which =
+    !shape
+    |> List.filter_map (fun (n, q, fr, ha) ->
+           if q = 4 then Some (float_of_int n, which fr ha) else None)
+    |> Array.of_list
+  in
+  let fr_slope, _ = Lf_kernel.Stats.loglog_slope (pts (fun fr _ -> fr)) in
+  let ha_slope, _ = Lf_kernel.Stats.loglog_slope (pts (fun _ ha -> ha)) in
+  Tables.note "growth of recovery cost with n (q=4, log-log slope):";
+  Tables.note "  fomitchev-ruppert: %.2f (paper: ~0, constant)" fr_slope;
+  Tables.note "  harris:            %.2f (paper: ~1, linear in n)" ha_slope;
+  (fr_slope, ha_slope)

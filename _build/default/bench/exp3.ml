@@ -1,0 +1,53 @@
+(* EXP-3: the Omega(m_E) execution against Valois's list (Section 2).
+
+   The paper (citing Valois's own analysis) notes that executions exist in
+   which the average operation cost on Valois's list is Omega(m_E) - linear
+   in the TOTAL number of operations - even while the list size and the
+   contention stay O(1).  The mechanism: a deleted cell's back_link is set
+   to the *cursor's* pre_cell, which can already be deleted by the time the
+   deletion executes, so back_link chains of deleted cells grow without
+   bound and every deletion's cleanup walks the whole chain.
+
+   Construction (engine: Lf_scenarios.Scenarios.omega_schedule): round r
+   deletes cell r; two deleters alternate, each parked at its excision C&S
+   across the previous cell's deletion, so back_link(r) = cell r-1 for
+   every r; a producer keeps the live list at 2-3 cells; contention is 3.
+
+   The Fomitchev-Ruppert list under the same schedule (parking at the
+   flagging C&S) stays O(1) per operation: the flag guarantees the backlink
+   is set to the predecessor at deletion time, never to a dead cursor
+   snapshot. *)
+
+module S = Lf_scenarios.Scenarios
+
+let run () =
+  Tables.section
+    "EXP-3  Valois back_link chains: average cost Omega(m) at n,c = O(1)";
+  Tables.note "m = total deletions; live list stays at 2-3 cells throughout;";
+  Tables.note "point contention is 3.  avg = essential steps per delete op.";
+  print_newline ();
+  let widths = [ 6; 14; 14; 14; 14 ] in
+  Tables.row widths [ "m"; "valois avg"; "valois chain"; "fr avg"; "fr chain" ];
+  let pts_v = ref [] and pts_f = ref [] in
+  List.iter
+    (fun m ->
+      let v_avg, v_chain = S.omega_schedule ~m S.valois_omega_target in
+      let f_avg, f_chain = S.omega_schedule ~m S.fr_omega_target in
+      pts_v := (float_of_int m, v_avg) :: !pts_v;
+      pts_f := (float_of_int m, f_avg) :: !pts_f;
+      Tables.row widths
+        [
+          string_of_int m;
+          Printf.sprintf "%.1f" v_avg;
+          string_of_int v_chain;
+          Printf.sprintf "%.1f" f_avg;
+          string_of_int f_chain;
+        ])
+    [ 100; 200; 400; 800 ];
+  let v_slope, _ = Lf_kernel.Stats.loglog_slope (Array.of_list !pts_v) in
+  let f_slope, _ = Lf_kernel.Stats.loglog_slope (Array.of_list !pts_f) in
+  Tables.note "growth of avg cost with m (log-log slope):";
+  Tables.note "  valois:            %.2f (paper: ~1, Omega(m))" v_slope;
+  Tables.note "  fomitchev-ruppert: %.2f (paper: ~0, O(n+c) = O(1) here)"
+    f_slope;
+  (v_slope, f_slope)

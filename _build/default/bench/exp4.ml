@@ -1,0 +1,48 @@
+(* EXP-4: wall-clock throughput of the linked lists ("lock-free lists can be
+   a practical alternative to lock-based implementations", Section 2,
+   following the experimental methodology of Harris [3] / Michael [8]).
+
+   NOTE: this container has a single CPU core, so domains time-share; the
+   numbers measure synchronization overhead and robustness to preemption,
+   not parallel speedup.  The scaling-shape claims live in EXP-1/2/3. *)
+
+let impls : (module Lf_workload.Runner.INT_DICT) list =
+  [
+    (module Lf_list.Fr_list.Atomic_int);
+    (module Lf_baselines.Harris_list.Atomic_int);
+    (module Lf_baselines.Michael_list.Atomic_int);
+    (module Lf_baselines.Valois_list.Atomic_int);
+    (module Lf_baselines.Lazy_list.Int);
+    (module Lf_baselines.Coarse_list.Int);
+  ]
+
+let run () =
+  Tables.section "EXP-4  Linked-list throughput (ops/s), 1-core machine";
+  let widths = [ 16; 10; 8; 4; 12 ] in
+  Tables.row widths [ "impl"; "mix"; "range"; "dom"; "kops/s" ];
+  List.iter
+    (fun (key_range, ops) ->
+      List.iter
+        (fun mix ->
+          List.iter
+            (fun (module D : Lf_workload.Runner.INT_DICT) ->
+              List.iter
+                (fun domains ->
+                  let r =
+                    Lf_workload.Runner.run_throughput
+                      (module D)
+                      ~domains ~ops_per_domain:ops ~key_range ~mix ~seed:42 ()
+                  in
+                  Tables.row widths
+                    [
+                      r.impl;
+                      Format.asprintf "%a" Lf_workload.Opgen.pp_mix mix;
+                      string_of_int key_range;
+                      string_of_int domains;
+                      Printf.sprintf "%.0f" (r.ops_per_s /. 1000.);
+                    ])
+                [ 1; 2; 4 ])
+            impls;
+          print_newline ())
+        [ Lf_workload.Opgen.write_heavy; Lf_workload.Opgen.mixed ])
+    [ (64, 20_000); (1024, 4_000) ]

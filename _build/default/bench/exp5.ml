@@ -1,0 +1,43 @@
+(* EXP-5: wall-clock throughput of the skip lists (lock-free vs lock-based,
+   the comparison context of [2], [14], [15]).  Same single-core caveat as
+   EXP-4. *)
+
+let impls : (module Lf_workload.Runner.INT_DICT) list =
+  [
+    (module Lf_skiplist.Fr_skiplist.Atomic_int);
+    (module Lf_skiplist.Fraser_skiplist.Atomic_int);
+    (module Lf_skiplist.St_skiplist.Atomic_int);
+    (module Lf_skiplist.Locked_skiplist.Int);
+  ]
+
+let run () =
+  Tables.section "EXP-5  Skip-list throughput (ops/s), 1-core machine";
+  let widths = [ 18; 10; 8; 4; 12 ] in
+  Tables.row widths [ "impl"; "mix"; "range"; "dom"; "kops/s" ];
+  List.iter
+    (fun key_range ->
+      List.iter
+        (fun mix ->
+          List.iter
+            (fun (module D : Lf_workload.Runner.INT_DICT) ->
+              List.iter
+                (fun domains ->
+                  let r =
+                    Lf_workload.Runner.run_throughput
+                      (module D)
+                      ~domains ~ops_per_domain:30_000 ~key_range ~mix ~seed:43
+                      ()
+                  in
+                  Tables.row widths
+                    [
+                      r.impl;
+                      Format.asprintf "%a" Lf_workload.Opgen.pp_mix mix;
+                      string_of_int key_range;
+                      string_of_int domains;
+                      Printf.sprintf "%.0f" (r.ops_per_s /. 1000.);
+                    ])
+                [ 1; 2; 4 ])
+            impls;
+          print_newline ())
+        [ Lf_workload.Opgen.write_heavy; Lf_workload.Opgen.read_mostly ])
+    [ 1024; 65536 ]

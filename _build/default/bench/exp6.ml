@@ -1,0 +1,114 @@
+(* EXP-6: expected O(log n) search cost of the skip list (Section 4, [12]),
+   against the O(n) cost of a plain list.
+
+   Measured in essential steps in the simulator (single process), so the
+   numbers are architecture-independent.  The Pugh sequential skip list is
+   the reference; the lock-free skip list should match its shape, and the
+   linked list grows linearly. *)
+
+module SLS = Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+module FRS = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+module Pugh = Lf_skiplist.Seq_skiplist.Int
+module Sim = Lf_dsim.Sim
+
+let searches = 200
+
+(* Average essential steps of a search over a structure of n keys. *)
+let fr_skiplist_cost n =
+  let t = SLS.create_with ~max_level:20 () in
+  let rng = Lf_kernel.Splitmix.create 7 in
+  ignore
+    (Sim.run
+       [|
+         (fun _ ->
+           for i = 1 to n do
+             ignore
+               (SLS.insert_with_height t
+                  ~height:
+                    (let rec h acc =
+                       if acc < 20 && Lf_kernel.Splitmix.bool rng then
+                         h (acc + 1)
+                       else acc
+                     in
+                     h 1)
+                  i i)
+           done);
+       |]);
+  let res =
+    Sim.run
+      [|
+        (fun _ ->
+          let r = Lf_kernel.Splitmix.create 99 in
+          for _ = 1 to searches do
+            Sim.op_begin ~n;
+            ignore (SLS.mem t (1 + Lf_kernel.Splitmix.int r n));
+            Sim.op_end ()
+          done);
+      |]
+  in
+  float_of_int (Sim.total_essential res) /. float_of_int searches
+
+let fr_list_cost n =
+  let t = FRS.create () in
+  ignore
+    (Sim.run
+       [|
+         (fun _ ->
+           for i = 1 to n do
+             ignore (FRS.insert t i i)
+           done);
+       |]);
+  let res =
+    Sim.run
+      [|
+        (fun _ ->
+          let r = Lf_kernel.Splitmix.create 99 in
+          for _ = 1 to searches do
+            Sim.op_begin ~n;
+            ignore (FRS.mem t (1 + Lf_kernel.Splitmix.int r n));
+            Sim.op_end ()
+          done);
+      |]
+  in
+  float_of_int (Sim.total_essential res) /. float_of_int searches
+
+let pugh_cost n =
+  let t = Pugh.create_with ~max_level:20 ~seed:7 () in
+  for i = 1 to n do
+    ignore (Pugh.insert t i i)
+  done;
+  Pugh.reset_steps t;
+  let r = Lf_kernel.Splitmix.create 99 in
+  for _ = 1 to searches do
+    ignore (Pugh.mem t (1 + Lf_kernel.Splitmix.int r n))
+  done;
+  float_of_int (Pugh.steps t) /. float_of_int searches
+
+let run () =
+  Tables.section "EXP-6  Search cost vs n: skip list O(log n), list O(n)";
+  let widths = [ 7; 16; 14; 12 ] in
+  Tables.row widths [ "n"; "fr-skiplist"; "pugh (seq)"; "fr-list" ];
+  let sl_pts = ref [] and li_pts = ref [] in
+  List.iter
+    (fun n ->
+      let sl = fr_skiplist_cost n in
+      let pu = pugh_cost n in
+      let li = if n <= 4096 then fr_list_cost n else nan in
+      sl_pts := (log (float_of_int n) /. log 2.0, sl) :: !sl_pts;
+      if n <= 4096 then li_pts := (float_of_int n, li) :: !li_pts;
+      Tables.row widths
+        [
+          string_of_int n;
+          Printf.sprintf "%.1f" sl;
+          Printf.sprintf "%.1f" pu;
+          (if Float.is_nan li then "-" else Printf.sprintf "%.1f" li);
+        ])
+    [ 16; 64; 256; 1024; 4096; 16384 ];
+  let _, slope, r2 = Lf_kernel.Stats.linear_fit (Array.of_list !sl_pts) in
+  let li_slope, li_r2 = Lf_kernel.Stats.loglog_slope (Array.of_list !li_pts) in
+  Tables.note
+    "fr-skiplist cost vs log2(n): %.2f steps/level (linear fit, r2=%.3f)"
+    slope r2;
+  Tables.note "fr-list cost vs n: log-log slope %.2f (r2=%.3f) - linear"
+    li_slope li_r2;
+  (slope, r2)

@@ -1,0 +1,132 @@
+(* EXP-7: tower heights (Section 4, last paragraph).
+
+   (a) The heights of full towers follow the geometric(1/2) distribution of
+       the coin flips.
+   (b) "the number of incomplete towers at any time is bounded by the point
+       contention": we sample a concurrent simulated execution at regular
+       intervals and compare the number of non-deleted towers whose current
+       height is below their drawn height against the number of operations
+       in progress. *)
+
+module SL = Lf_skiplist.Fr_skiplist.Atomic_int
+module SLS = Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+module Sim = Lf_dsim.Sim
+
+let histogram_part () =
+  Tables.subsection "(a) height distribution of 100k towers";
+  let t = SL.create_with ~max_level:20 () in
+  for i = 1 to 100_000 do
+    ignore (SL.insert t i i)
+  done;
+  let h = SL.height_histogram t in
+  let total = Array.fold_left ( + ) 0 h in
+  let widths = [ 7; 10; 10; 9 ] in
+  Tables.row widths [ "height"; "observed"; "expected"; "obs/exp" ];
+  for lvl = 1 to 14 do
+    let expected = float_of_int total *. (0.5 ** float_of_int lvl) in
+    Tables.row widths
+      [
+        string_of_int lvl;
+        string_of_int h.(lvl);
+        Printf.sprintf "%.0f" expected;
+        (if expected >= 1.0 then
+           Printf.sprintf "%.2f" (float_of_int h.(lvl) /. expected)
+         else "-");
+      ]
+  done;
+  let p, tv = Lf_kernel.Stats.geometric_fit h in
+  Tables.note "geometric fit: p = %.4f (coin = 0.5), total variation = %.4f" p
+    tv;
+  (p, tv)
+
+let incomplete_part () =
+  Tables.subsection
+    "(b) incomplete towers vs point contention (sampled, simulator)";
+  let widths = [ 4; 14; 14; 12 ] in
+  Tables.row widths [ "q"; "max incompl"; "max active"; "violations" ];
+  let results = ref [] in
+  List.iter
+    (fun q ->
+      let t = SLS.create_with ~max_level:8 () in
+      let intended : (int, int) Hashtbl.t = Hashtbl.create 512 in
+      let body pid =
+        let rng = Lf_kernel.Splitmix.create (pid + 7) in
+        let my_keys = ref [] in
+        for i = 0 to 59 do
+          if Lf_kernel.Splitmix.int rng 4 < 3 || !my_keys = [] then begin
+            let k = (pid * 1000) + i in
+            let h = 1 + Lf_kernel.Splitmix.int rng 6 in
+            Hashtbl.replace intended k h;
+            Sim.op_begin ~n:0;
+            if SLS.insert_with_height t ~height:h k k then
+              my_keys := k :: !my_keys;
+            Sim.op_end ()
+          end
+          else begin
+            match !my_keys with
+            | k :: rest ->
+                my_keys := rest;
+                Hashtbl.remove intended k;
+                Sim.op_begin ~n:0;
+                ignore (SLS.delete t k);
+                Sim.op_end ()
+            | [] -> ()
+          end
+        done
+      in
+      let max_incomplete = ref 0 in
+      let max_active = ref 0 in
+      let violations = ref 0 in
+      let sample st =
+        (* Current height of every live (root unmarked) tower. *)
+        let actual : (int, int) Hashtbl.t = Hashtbl.create 512 in
+        Sim.quiet (fun () ->
+            let live = List.map fst (SLS.to_list t) in
+            List.iter (fun k -> Hashtbl.replace actual k 0) live;
+            for l = 1 to 8 do
+              List.iter
+                (fun k ->
+                  match Hashtbl.find_opt actual k with
+                  | Some h when l > h -> Hashtbl.replace actual k l
+                  | _ -> ())
+                (SLS.keys_at_level t l)
+            done);
+        let incomplete = ref 0 in
+        Hashtbl.iter
+          (fun k lvl ->
+            match Hashtbl.find_opt intended k with
+            | Some want when lvl < want && lvl > 0 -> incr incomplete
+            | _ -> ())
+          actual;
+        let active = Sim.active_ops st in
+        if !incomplete > active then incr violations;
+        if !incomplete > !max_incomplete then max_incomplete := !incomplete;
+        if active > !max_active then max_active := active
+      in
+      let tick = ref 0 in
+      let on_step st _pid =
+        incr tick;
+        if !tick mod 97 = 0 then sample st
+      in
+      ignore
+        (Sim.run ~policy:(Sim.Random (q * 13)) ~on_step
+           (Array.init q (fun _ -> body)));
+      results := (q, !max_incomplete, !violations) :: !results;
+      Tables.row widths
+        [
+          string_of_int q;
+          string_of_int !max_incomplete;
+          string_of_int !max_active;
+          string_of_int !violations;
+        ])
+    [ 2; 4; 8 ];
+  Tables.note
+    "violations = samples where #incomplete towers > #ops in progress";
+  Tables.note "(paper: bounded by point contention, so this must be 0)";
+  !results
+
+let run () =
+  Tables.section "EXP-7  Skip-list tower heights and incomplete towers";
+  let fit = histogram_part () in
+  let inc = incomplete_part () in
+  (fit, inc)

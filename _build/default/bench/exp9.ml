@@ -1,0 +1,43 @@
+(* EXP-9: superfluous-tower helping ablation (Section 4).
+
+   The paper: "if searches traverse superfluous towers without physically
+   deleting or marking their nodes, it is possible to construct an execution
+   E where the average cost of operations would be Omega(m_E)".
+
+   Construction (engine: Lf_scenarios.Scenarios.superfluous_mode): each
+   round inserts a tall tower, deletes its root, then searches past it.
+   Without helping, the upper nodes of every deleted tower stay linked
+   forever, so round r's operations walk r dead nodes per upper level:
+   average Omega(m).  With helping each dead tower is dismantled once and
+   the average stays O(log m). *)
+
+module S = Lf_scenarios.Scenarios
+
+let run () =
+  Tables.section
+    "EXP-9  Skip-list ablation: searches that do not delete superfluous nodes";
+  let widths = [ 6; 14; 12; 14; 12 ] in
+  Tables.row widths [ "m"; "no-help avg"; "residue"; "help avg"; "residue" ];
+  let pts_n = ref [] and pts_h = ref [] in
+  List.iter
+    (fun m ->
+      let n_avg, n_res = S.superfluous_mode ~help_superfluous:false ~m in
+      let h_avg, h_res = S.superfluous_mode ~help_superfluous:true ~m in
+      pts_n := (float_of_int m, n_avg) :: !pts_n;
+      pts_h := (float_of_int m, h_avg) :: !pts_h;
+      Tables.row widths
+        [
+          string_of_int m;
+          Printf.sprintf "%.1f" n_avg;
+          string_of_int n_res;
+          Printf.sprintf "%.1f" h_avg;
+          string_of_int h_res;
+        ])
+    [ 50; 100; 200; 400 ];
+  let n_slope, _ = Lf_kernel.Stats.loglog_slope (Array.of_list !pts_n) in
+  let h_slope, _ = Lf_kernel.Stats.loglog_slope (Array.of_list !pts_h) in
+  Tables.note "residue = dead nodes still linked across all levels at the end";
+  Tables.note "growth of avg cost with m (log-log slope):";
+  Tables.note "  without helping: %.2f (paper: ~1, Omega(m))" n_slope;
+  Tables.note "  with helping:    %.2f (paper: ~0 / logarithmic)" h_slope;
+  (n_slope, h_slope)

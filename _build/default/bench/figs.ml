@@ -1,0 +1,83 @@
+(* FIG-1 / FIG-2: the deletion-protocol state diagrams, regenerated as
+   step-by-step traces from deterministic simulator runs.
+
+   Figure 1 (Harris): two-step deletion - mark, then unlink.
+   Figure 2 (F&R): three-step deletion - flag the predecessor, set the
+   backlink and mark the node, then unlink and unflag. *)
+
+module FRS = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+module HS = Lf_baselines.Harris_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+module Sim = Lf_dsim.Sim
+
+let pp_key fmt (k : int Lf_kernel.Ordered.bounded) =
+  match k with
+  | Lf_kernel.Ordered.Neg_inf -> Format.fprintf fmt "H"
+  | Lf_kernel.Ordered.Pos_inf -> Format.fprintf fmt "T"
+  | Lf_kernel.Ordered.Mid k -> Format.fprintf fmt "%d" k
+
+let fr_trace () =
+  Tables.subsection "Figure 2: three-step deletion (flag, backlink+mark, unlink)";
+  let t = FRS.create () in
+  ignore
+    (Sim.run
+       [| (fun _ -> List.iter (fun k -> ignore (FRS.insert t k 0)) [ 1; 2; 3 ]) |]);
+  let last = ref "" in
+  let render () =
+    let cells = Sim.quiet (fun () -> FRS.Debug.physical_chain t) in
+    Format.asprintf "%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt " -> ")
+         (fun fmt (c : FRS.Debug.cell) ->
+           Format.fprintf fmt "%a%s%s%s" pp_key c.key
+             (if c.flagged then "!" else "")
+             (if c.marked then "*" else "")
+             (match c.backlink_key with
+             | Some b -> Format.asprintf "(bl:%a)" pp_key b
+             | None -> "")))
+      cells
+  in
+  let show st _pid =
+    ignore st;
+    let s = render () in
+    if s <> !last then begin
+      Printf.printf "   %s\n" s;
+      last := s
+    end
+  in
+  Printf.printf "   %s\n" (render ());
+  ignore (Sim.run ~on_step:show [| (fun _ -> ignore (FRS.delete t 2)) |]);
+  Tables.note "legend: ! = flagged successor field, * = marked, bl = backlink"
+
+let harris_trace () =
+  Tables.subsection "Figure 1: Harris's two-step deletion (mark, unlink)";
+  let t = HS.create () in
+  ignore
+    (Sim.run
+       [| (fun _ -> List.iter (fun k -> ignore (HS.insert t k 0)) [ 1; 2; 3 ]) |]);
+  let last = ref "" in
+  let render () =
+    let cells = Sim.quiet (fun () -> HS.Debug.physical_chain t) in
+    Format.asprintf "%a"
+      (Format.pp_print_list
+         ~pp_sep:(fun fmt () -> Format.fprintf fmt " -> ")
+         (fun fmt (c : HS.Debug.cell) ->
+           Format.fprintf fmt "%a%s" pp_key c.key
+             (if c.marked then "*" else "")))
+      cells
+  in
+  let show st _pid =
+    ignore st;
+    let s = render () in
+    if s <> !last then begin
+      Printf.printf "   %s\n" s;
+      last := s
+    end
+  in
+  Printf.printf "   %s\n" (render ());
+  ignore (Sim.run ~on_step:show [| (fun _ -> ignore (HS.delete t 2)) |]);
+  Tables.note "legend: * = marked successor field"
+
+let run () =
+  Tables.section "FIG-1 / FIG-2  Deletion protocol traces";
+  harris_trace ();
+  fr_trace ()

@@ -1,0 +1,48 @@
+(* Benchmark harness entry point.
+
+   Runs every experiment of EXPERIMENTS.md (the measurable claims of the
+   paper plus the design-choice ablations from DESIGN.md) and prints one
+   table per experiment.  `main.exe <name>...` runs a subset, e.g.
+   `dune exec bench/main.exe -- exp2 exp3`. *)
+
+let experiments : (string * string * (unit -> unit)) list =
+  [
+    ("figs", "Fig 1/2 deletion protocol traces", fun () -> Figs.run ());
+    ("exp1", "amortized bound O(n(S)+c(S))", fun () -> ignore (Exp1.run ()));
+    ("exp2", "Sec 3.1 adversary: Harris vs FR", fun () -> ignore (Exp2.run ()));
+    ("exp3", "Valois Omega(m) execution", fun () -> ignore (Exp3.run ()));
+    ("exp4", "linked-list throughput", fun () -> Exp4.run ());
+    ("exp5", "skip-list throughput", fun () -> Exp5.run ());
+    ("exp6", "search cost O(log n) vs O(n)", fun () -> ignore (Exp6.run ()));
+    ("exp7", "tower heights + incomplete towers", fun () -> ignore (Exp7.run ()));
+    ("exp8", "flag-bit ablation", fun () -> ignore (Exp8.run ()));
+    ("exp9", "superfluous-helping ablation", fun () -> ignore (Exp9.run ()));
+    ("exp10", "linearizability battery", fun () -> ignore (Exp10.run ()));
+    ("exp11", "hash table on list buckets", fun () -> Exp11.run ());
+    ("exp12", "priority queue vs locked heap", fun () -> Exp12.run ());
+    ("exp13", "skip-list adversary: FR vs Fraser", fun () -> ignore (Exp13.run ()));
+    ("exp14", "cost model: sim vs real domains", fun () -> ignore (Exp14.run ()));
+    ("exp15", "skip-list recovery classes", fun () -> Exp15.run ());
+    ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
+  ]
+
+let () =
+  let requested =
+    match Array.to_list Sys.argv with
+    | _ :: (_ :: _ as names) -> names
+    | _ -> List.map (fun (n, _, _) -> n) experiments
+  in
+  let t0 = Unix.gettimeofday () in
+  List.iter
+    (fun name ->
+      match List.find_opt (fun (n, _, _) -> n = name) experiments with
+      | Some (_, _, f) -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %S; available:\n" name;
+          List.iter
+            (fun (n, d, _) -> Printf.eprintf "  %-6s %s\n" n d)
+            experiments;
+          exit 2)
+    requested;
+  Printf.printf "\nAll requested experiments completed in %.1fs.\n"
+    (Unix.gettimeofday () -. t0)

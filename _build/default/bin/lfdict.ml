@@ -1,0 +1,134 @@
+(* lfdict: command-line playground for the lock-free dictionaries.
+
+   Subcommands:
+     throughput  run a workload against an implementation and report ops/s
+     check       record concurrent histories and check linearizability
+     list        show the available implementations
+
+   Examples:
+     dune exec bin/lfdict.exe -- list
+     dune exec bin/lfdict.exe -- throughput -i fr-skiplist -d 4 -n 100000
+     dune exec bin/lfdict.exe -- check -i fr-list -s 50 *)
+
+open Cmdliner
+
+let impls : (string * (module Lf_workload.Runner.INT_DICT)) list =
+  [
+    ("fr-list", (module Lf_list.Fr_list.Atomic_int));
+    ("fr-skiplist", (module Lf_skiplist.Fr_skiplist.Atomic_int));
+    ("harris-list", (module Lf_baselines.Harris_list.Atomic_int));
+    ("michael-list", (module Lf_baselines.Michael_list.Atomic_int));
+    ("valois-list", (module Lf_baselines.Valois_list.Atomic_int));
+    ("lazy-list", (module Lf_baselines.Lazy_list.Int));
+    ("coarse-list", (module Lf_baselines.Coarse_list.Int));
+    ("fraser-skiplist", (module Lf_skiplist.Fraser_skiplist.Atomic_int));
+    ("st-skiplist", (module Lf_skiplist.St_skiplist.Atomic_int));
+    ("locked-skiplist", (module Lf_skiplist.Locked_skiplist.Int));
+    ("lf-hashtable", (module Lf_hashtable.Atomic_int));
+  ]
+
+let impl_conv =
+  let parse s =
+    match List.assoc_opt s impls with
+    | Some m -> Ok m
+    | None ->
+        Error
+          (`Msg
+            (Printf.sprintf "unknown implementation %S (try: %s)" s
+               (String.concat ", " (List.map fst impls))))
+  in
+  let print fmt (module D : Lf_workload.Runner.INT_DICT) =
+    Format.pp_print_string fmt D.name
+  in
+  Arg.conv (parse, print)
+
+let impl_arg =
+  Arg.(
+    value
+    & opt impl_conv (module Lf_skiplist.Fr_skiplist.Atomic_int : Lf_workload.Runner.INT_DICT)
+    & info [ "i"; "impl" ] ~docv:"IMPL" ~doc:"Implementation under test.")
+
+let domains_arg =
+  Arg.(value & opt int 2 & info [ "d"; "domains" ] ~docv:"N" ~doc:"Domains.")
+
+let ops_arg =
+  Arg.(
+    value & opt int 50_000
+    & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations per domain.")
+
+let range_arg =
+  Arg.(value & opt int 1024 & info [ "r"; "range" ] ~docv:"N" ~doc:"Key range.")
+
+let mix_arg =
+  Arg.(
+    value & opt (pair ~sep:',' int int) (20, 20)
+    & info [ "m"; "mix" ] ~docv:"I,D"
+        ~doc:"Insert and delete percentages (rest are searches).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"Random seed.")
+
+let seeds_arg =
+  Arg.(
+    value & opt int 30
+    & info [ "s"; "seeds" ] ~docv:"N" ~doc:"Number of seeds / histories.")
+
+let throughput_cmd =
+  let run (module D : Lf_workload.Runner.INT_DICT) domains ops range
+      (ins, del) seed =
+    let r =
+      Lf_workload.Runner.run_throughput
+        (module D)
+        ~domains ~ops_per_domain:ops ~key_range:range
+        ~mix:{ insert_pct = ins; delete_pct = del }
+        ~seed ()
+    in
+    Printf.printf
+      "%s: %d ops on %d domains in %.3fs -> %.0f ops/s (structure valid)\n"
+      r.impl r.total_ops r.domains r.elapsed_s r.ops_per_s
+  in
+  Cmd.v
+    (Cmd.info "throughput" ~doc:"Measure workload throughput.")
+    Term.(
+      const run $ impl_arg $ domains_arg $ ops_arg $ range_arg $ mix_arg
+      $ seed_arg)
+
+let check_cmd =
+  let run (module D : Lf_workload.Runner.INT_DICT) domains seeds =
+    let failed = ref 0 in
+    for seed = 1 to seeds do
+      let h =
+        Lf_workload.Runner.run_recorded
+          (module D)
+          ~domains ~ops_per_domain:10 ~key_range:5
+          ~mix:{ insert_pct = 40; delete_pct = 40 }
+          ~seed ()
+      in
+      match Lf_lin.Checker.check h with
+      | Lf_lin.Checker.Linearizable -> ()
+      | Lf_lin.Checker.Not_linearizable ->
+          incr failed;
+          Format.printf "NOT LINEARIZABLE (seed %d):@\n%a@." seed
+            Lf_lin.History.pp h
+    done;
+    Printf.printf "%s: %d/%d histories linearizable\n" D.name (seeds - !failed)
+      seeds;
+    if !failed > 0 then exit 1
+  in
+  Cmd.v
+    (Cmd.info "check" ~doc:"Record histories and check linearizability.")
+    Term.(const run $ impl_arg $ domains_arg $ seeds_arg)
+
+let list_cmd =
+  let run () =
+    print_endline "available implementations:";
+    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) impls
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available implementations.") Term.(const run $ const ())
+
+let () =
+  let info =
+    Cmd.info "lfdict" ~version:"1.0"
+      ~doc:"Lock-free linked lists and skip lists (Fomitchev-Ruppert, PODC'04)"
+  in
+  exit (Cmd.eval (Cmd.group info [ throughput_cmd; check_cmd; list_cmd ]))

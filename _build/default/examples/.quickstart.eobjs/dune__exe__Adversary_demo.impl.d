@@ -1,0 +1,1 @@
+examples/adversary_demo.ml: Array Lf_baselines Lf_dsim Lf_kernel Lf_list Printf

@@ -1,0 +1,1 @@
+examples/kv_store.ml: Atomic Domain Lf_kernel Lf_skiplist List Printf

@@ -1,0 +1,1 @@
+examples/priority_scheduler.ml: Atomic Domain Lf_kernel Lf_pqueue List Printf

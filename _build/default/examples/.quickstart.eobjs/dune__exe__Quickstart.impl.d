@@ -1,0 +1,1 @@
+examples/quickstart.ml: Domain Lf_skiplist List Printf

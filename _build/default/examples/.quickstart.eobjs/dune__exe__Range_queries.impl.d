@@ -1,0 +1,1 @@
+examples/range_queries.ml: Atomic Domain Lf_kernel Lf_skiplist List Option Printf

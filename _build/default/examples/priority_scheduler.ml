@@ -1,0 +1,74 @@
+(* A tiny job scheduler on the lock-free priority queue (the application
+   domain of Lotan-Shavit [13] and Sundell-Tsigas [14]).
+
+   Producers submit jobs with priorities; worker domains repeatedly claim
+   the highest-priority job with [pop_min].  Because the queue is built on
+   the Fomitchev-Ruppert skip list, a stalled worker never blocks the
+   others - we demonstrate that by making one worker extremely slow.
+
+     dune exec examples/priority_scheduler.exe *)
+
+module Q = Lf_pqueue.Pqueue.Stamped_atomic
+
+type job = { id : int; label : string; work_us : int }
+
+let () =
+  let q = Q.create () in
+  let produced = 400 in
+  let done_count = Atomic.make 0 in
+  let log = Atomic.make [] in
+
+  let producer pid () =
+    let rng = Lf_kernel.Splitmix.create (pid * 17) in
+    for i = 0 to (produced / 2) - 1 do
+      let id = (pid * 1000) + i in
+      let prio = Lf_kernel.Splitmix.int rng 10 in
+      let job =
+        { id; label = Printf.sprintf "job-%d(p%d)" id prio; work_us = 50 }
+      in
+      Q.push q prio job;
+      if i mod 7 = 0 then Domain.cpu_relax ()
+    done
+  in
+
+  let worker ~slow () =
+    let rec claim () =
+      match Q.pop_min q with
+      | Some (prio, job) ->
+          (* "Execute" the job. *)
+          if slow then
+            for _ = 1 to 50_000 do
+              Domain.cpu_relax ()
+            done;
+          let c = Atomic.fetch_and_add done_count 1 in
+          if c < 10 then begin
+            let rec push_log () =
+              let old = Atomic.get log in
+              if not (Atomic.compare_and_set log old ((prio, job.label) :: old))
+              then push_log ()
+            in
+            push_log ()
+          end;
+          claim ()
+      | None -> if Atomic.get done_count < produced then claim ()
+    in
+    claim ()
+  in
+
+  let ds =
+    [
+      Domain.spawn (producer 1);
+      Domain.spawn (producer 2);
+      Domain.spawn (worker ~slow:false);
+      Domain.spawn (worker ~slow:false);
+      Domain.spawn (worker ~slow:true) (* the straggler: cannot block anyone *);
+    ]
+  in
+  List.iter Domain.join ds;
+  Printf.printf "scheduled and completed %d jobs\n" (Atomic.get done_count);
+  print_endline "first claims (priority, job):";
+  List.iter
+    (fun (p, l) -> Printf.printf "  p%d %s\n" p l)
+    (List.rev (Atomic.get log));
+  assert (Q.is_empty q);
+  print_endline "priority_scheduler done"

@@ -1,0 +1,52 @@
+(* Quickstart: the lock-free dictionary API in five minutes.
+
+   Creates a Fomitchev-Ruppert skip-list dictionary, hammers it from four
+   domains, and shows the basic operations.  Run with:
+
+     dune exec examples/quickstart.exe *)
+
+module Dict = Lf_skiplist.Fr_skiplist.Atomic_string
+
+let () =
+  let t = Dict.create () in
+
+  (* Basic operations. *)
+  assert (Dict.insert t "ocaml" 1996);
+  assert (Dict.insert t "skiplist" 1990);
+  assert (Dict.insert t "lockfree" 2004);
+  assert (not (Dict.insert t "ocaml" 0));
+  (* duplicate *)
+  assert (Dict.find t "skiplist" = Some 1990);
+  assert (Dict.delete t "skiplist");
+  assert (not (Dict.mem t "skiplist"));
+  Printf.printf "sequential: %d entries: " (Dict.length t);
+  List.iter (fun (k, v) -> Printf.printf "%s=%d " k v) (Dict.to_list t);
+  print_newline ();
+
+  (* Concurrent use: four domains inserting and deleting disjoint and
+     overlapping key sets.  No locks anywhere; a domain can be preempted at
+     any instruction without blocking the others. *)
+  let keys i = List.init 500 (fun j -> Printf.sprintf "key-%d" ((j * 4) + i)) in
+  let domains =
+    List.init 4 (fun i ->
+        Domain.spawn (fun () ->
+            let mine = keys i in
+            List.iter (fun k -> ignore (Dict.insert t k i)) mine;
+            (* Everyone also fights over a shared hotspot. *)
+            for _ = 1 to 1000 do
+              ignore (Dict.insert t "hot" i);
+              ignore (Dict.delete t "hot")
+            done;
+            (* And deletes half of its own keys again. *)
+            List.iteri (fun j k -> if j mod 2 = 0 then ignore (Dict.delete t k)) mine))
+  in
+  List.iter Domain.join domains;
+  Dict.check_invariants t;
+  Printf.printf "concurrent: %d entries survive, structure valid\n"
+    (Dict.length t);
+
+  (* The same code runs against any implementation in the repository: swap
+     [Lf_skiplist.Fr_skiplist.Atomic_string] for
+     [Lf_list.Fr_list.Atomic_string] (the linked list) and everything above
+     still holds. *)
+  print_endline "quickstart done"

@@ -1,0 +1,1 @@
+lib/baselines/binary_heap.ml: Array Fun Mutex

@@ -1,0 +1,1 @@
+lib/baselines/coarse_list.ml: Fun Lf_kernel Mutex Seq_list

@@ -1,0 +1,1 @@
+lib/baselines/coarse_list.mli: Lf_kernel

@@ -1,0 +1,1 @@
+lib/baselines/harris_list.ml: Format Lf_kernel List Option

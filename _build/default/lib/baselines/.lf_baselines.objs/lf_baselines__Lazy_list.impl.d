@@ -1,0 +1,1 @@
+lib/baselines/lazy_list.ml: Atomic Format Fun Lf_kernel List Mutex Option

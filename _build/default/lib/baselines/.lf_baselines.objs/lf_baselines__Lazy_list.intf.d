@@ -1,0 +1,1 @@
+lib/baselines/lazy_list.mli: Lf_kernel

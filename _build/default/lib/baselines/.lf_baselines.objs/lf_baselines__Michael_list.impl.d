@@ -1,0 +1,1 @@
+lib/baselines/michael_list.ml: Format Lf_kernel List Option

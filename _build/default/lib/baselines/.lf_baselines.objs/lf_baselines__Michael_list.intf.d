@@ -1,0 +1,1 @@
+lib/baselines/michael_list.mli: Lf_kernel

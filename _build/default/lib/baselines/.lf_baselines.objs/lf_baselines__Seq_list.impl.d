@@ -1,0 +1,1 @@
+lib/baselines/seq_list.ml: Lf_kernel List Option

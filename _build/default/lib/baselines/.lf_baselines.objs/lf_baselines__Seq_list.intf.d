@@ -1,0 +1,1 @@
+lib/baselines/seq_list.mli: Lf_kernel

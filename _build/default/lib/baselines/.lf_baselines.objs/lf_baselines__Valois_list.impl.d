@@ -1,0 +1,1 @@
+lib/baselines/valois_list.ml: Format Lf_kernel List Option

@@ -1,0 +1,1 @@
+lib/baselines/valois_list.mli: Lf_kernel

@@ -1,0 +1,86 @@
+(* Array-based binary min-heap, plus a mutex-protected concurrent wrapper:
+   the classical lock-based priority-queue baseline that skip-list based
+   queues (Lotan-Shavit [13], Sundell-Tsigas [14]) are measured against. *)
+
+module Seq = struct
+  type 'a t = {
+    mutable data : (int * 'a) array; (* (priority, payload) *)
+    mutable size : int;
+  }
+
+  let create () = { data = [||]; size = 0 }
+
+  (* Grow on demand, using [fill] (the element about to be pushed) for the
+     fresh slots so no dummy payload is ever needed. *)
+  let grow t fill =
+    if t.size = Array.length t.data then begin
+      let cap = max 16 (2 * Array.length t.data) in
+      let d = Array.make cap fill in
+      Array.blit t.data 0 d 0 t.size;
+      t.data <- d
+    end
+
+  let swap t i j =
+    let x = t.data.(i) in
+    t.data.(i) <- t.data.(j);
+    t.data.(j) <- x
+
+  let rec sift_up t i =
+    let parent = (i - 1) / 2 in
+    if i > 0 && fst t.data.(i) < fst t.data.(parent) then begin
+      swap t i parent;
+      sift_up t parent
+    end
+
+  let rec sift_down t i =
+    let l = (2 * i) + 1 and r = (2 * i) + 2 in
+    let smallest = ref i in
+    if l < t.size && fst t.data.(l) < fst t.data.(!smallest) then smallest := l;
+    if r < t.size && fst t.data.(r) < fst t.data.(!smallest) then smallest := r;
+    if !smallest <> i then begin
+      swap t i !smallest;
+      sift_down t !smallest
+    end
+
+  let push t prio v =
+    grow t (prio, v);
+    t.data.(t.size) <- (prio, v);
+    t.size <- t.size + 1;
+    sift_up t (t.size - 1)
+
+  let pop_min t =
+    if t.size = 0 then None
+    else begin
+      let top = t.data.(0) in
+      t.size <- t.size - 1;
+      t.data.(0) <- t.data.(t.size);
+      sift_down t 0;
+      Some top
+    end
+
+  let length t = t.size
+  let is_empty t = t.size = 0
+
+  let check_invariants t =
+    for i = 1 to t.size - 1 do
+      if fst t.data.(i) < fst t.data.((i - 1) / 2) then
+        failwith "binary-heap: heap property violated"
+    done
+end
+
+module Locked = struct
+  type 'a t = { lock : Mutex.t; heap : 'a Seq.t }
+
+  let name = "locked-heap"
+  let create () = { lock = Mutex.create (); heap = Seq.create () }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let push t prio v = locked t (fun () -> Seq.push t.heap prio v)
+  let pop_min t = locked t (fun () -> Seq.pop_min t.heap)
+  let length t = locked t (fun () -> Seq.length t.heap)
+  let is_empty t = locked t (fun () -> Seq.is_empty t.heap)
+  let check_invariants t = locked t (fun () -> Seq.check_invariants t.heap)
+end

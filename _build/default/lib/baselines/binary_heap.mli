@@ -1,0 +1,27 @@
+(** Array-based binary min-heap plus a mutex-protected wrapper: the
+    classical lock-based priority-queue baseline that skip-list based queues
+    (Lotan-Shavit [13], Sundell-Tsigas [14]) are measured against
+    (EXP-12). *)
+
+module Seq : sig
+  type 'a t
+
+  val create : unit -> 'a t
+  val push : 'a t -> int -> 'a -> unit
+  val pop_min : 'a t -> (int * 'a) option
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val check_invariants : 'a t -> unit
+end
+
+module Locked : sig
+  type 'a t
+
+  val name : string
+  val create : unit -> 'a t
+  val push : 'a t -> int -> 'a -> unit
+  val pop_min : 'a t -> (int * 'a) option
+  val length : 'a t -> int
+  val is_empty : 'a t -> bool
+  val check_invariants : 'a t -> unit
+end

@@ -1,0 +1,28 @@
+(* Coarse-grained lock-based baseline: a global mutex around the sequential
+   sorted list.  The simplest "lock-based implementation" the lock-free
+   designs are compared against in the experimental literature the paper
+   cites. *)
+
+module Make (K : Lf_kernel.Ordered.S) = struct
+  module S = Seq_list.Make (K)
+
+  type key = K.t
+  type 'a t = { lock : Mutex.t; list : 'a S.t }
+
+  let name = "coarse-list"
+  let create () = { lock = Mutex.create (); list = S.create () }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let find t k = locked t (fun () -> S.find t.list k)
+  let mem t k = locked t (fun () -> S.mem t.list k)
+  let insert t k e = locked t (fun () -> S.insert t.list k e)
+  let delete t k = locked t (fun () -> S.delete t.list k)
+  let to_list t = locked t (fun () -> S.to_list t.list)
+  let length t = locked t (fun () -> S.length t.list)
+  let check_invariants t = locked t (fun () -> S.check_invariants t.list)
+end
+
+module Int = Make (Lf_kernel.Ordered.Int)

@@ -1,0 +1,8 @@
+(** Coarse-grained lock-based baseline: one global mutex around the
+    sequential sorted list. *)
+
+module Make (K : Lf_kernel.Ordered.S) : sig
+  include Lf_kernel.Dict_intf.S with type key = K.t
+end
+
+module Int : Lf_kernel.Dict_intf.S with type key = int

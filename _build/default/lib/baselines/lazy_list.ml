@@ -1,0 +1,143 @@
+(* Lazy synchronization list (Heller et al. 2005): the strongest common
+   lock-based linked-list baseline.  Wait-free contains; insert/delete lock
+   the two adjacent nodes, validate, and apply.  Marked flags make the
+   unlocked traversal safe.  Uses real mutexes, so it runs only on real
+   domains (not in the simulator). *)
+
+module Make (K : Lf_kernel.Ordered.S) = struct
+  module BK = Lf_kernel.Ordered.Bounded (K)
+
+  type key = K.t
+
+  type 'a node = {
+    key : K.t Lf_kernel.Ordered.bounded;
+    elt : 'a option;
+    lock : Mutex.t;
+    marked : bool Atomic.t;
+    next : 'a link Atomic.t;
+  }
+
+  and 'a link = Null | Node of 'a node
+
+  type 'a t = { head : 'a node; tail : 'a node }
+
+  let name = "lazy-list"
+
+  let make_node key elt next =
+    {
+      key;
+      elt;
+      lock = Mutex.create ();
+      marked = Atomic.make false;
+      next = Atomic.make next;
+    }
+
+  let create () =
+    let tail = make_node Pos_inf None Null in
+    let head = make_node Neg_inf None (Node tail) in
+    { head; tail }
+
+  let as_node = function
+    | Node n -> n
+    | Null -> invalid_arg "Lazy_list: dereferenced tail successor"
+
+  (* Unsynchronized traversal: pred.key < k <= curr.key. *)
+  let locate t k =
+    let rec go pred curr =
+      if BK.lt curr.key k then go curr (as_node (Atomic.get curr.next))
+      else (pred, curr)
+    in
+    go t.head (as_node (Atomic.get t.head.next))
+
+  let validate pred curr =
+    (not (Atomic.get pred.marked))
+    && (not (Atomic.get curr.marked))
+    &&
+    match Atomic.get pred.next with Node n -> n == curr | Null -> false
+
+  let find t k =
+    let kb = Lf_kernel.Ordered.Mid k in
+    let _, curr = locate t kb in
+    if BK.equal curr.key kb && not (Atomic.get curr.marked) then curr.elt
+    else None
+
+  let mem t k = Option.is_some (find t k)
+
+  let with_locks pred curr f =
+    Mutex.lock pred.lock;
+    Mutex.lock curr.lock;
+    Fun.protect
+      ~finally:(fun () ->
+        Mutex.unlock curr.lock;
+        Mutex.unlock pred.lock)
+      f
+
+  let insert t k e =
+    let kb = Lf_kernel.Ordered.Mid k in
+    let rec loop () =
+      let pred, curr = locate t kb in
+      let outcome =
+        with_locks pred curr (fun () ->
+            if not (validate pred curr) then `Retry
+            else if BK.equal curr.key kb then `Dup
+            else begin
+              let n = make_node kb (Some e) (Node curr) in
+              Atomic.set pred.next (Node n);
+              `Ok
+            end)
+      in
+      match outcome with `Ok -> true | `Dup -> false | `Retry -> loop ()
+    in
+    loop ()
+
+  let delete t k =
+    let kb = Lf_kernel.Ordered.Mid k in
+    let rec loop () =
+      let pred, curr = locate t kb in
+      let outcome =
+        with_locks pred curr (fun () ->
+            if not (validate pred curr) then `Retry
+            else if not (BK.equal curr.key kb) then `Absent
+            else begin
+              Atomic.set curr.marked true;
+              Atomic.set pred.next (Atomic.get curr.next);
+              `Ok
+            end)
+      in
+      match outcome with `Ok -> true | `Absent -> false | `Retry -> loop ()
+    in
+    loop ()
+
+  let fold t f acc =
+    let rec go acc = function
+      | Null -> acc
+      | Node n -> (
+          match (n.key, n.elt) with
+          | Mid k, Some e when not (Atomic.get n.marked) ->
+              go (f acc k e) (Atomic.get n.next)
+          | _ -> go acc (Atomic.get n.next))
+    in
+    go acc (Atomic.get t.head.next)
+
+  let to_list t = List.rev (fold t (fun acc k e -> (k, e) :: acc) [])
+  let length t = fold t (fun acc _ _ -> acc + 1) 0
+
+  let check_invariants t =
+    let fail fmt = Format.kasprintf failwith fmt in
+    let rec go prev_key = function
+      | Null -> fail "lazy-list: tail not reached"
+      | Node n ->
+          if not (BK.lt prev_key n.key) then fail "lazy-list: keys unsorted";
+          if n == t.tail then begin
+            if Atomic.get n.next <> Null then fail "lazy-list: tail has successor"
+          end
+          else begin
+            if Atomic.get n.marked then
+              fail "lazy-list: marked node at quiescence";
+            go n.key (Atomic.get n.next)
+          end
+    in
+    go t.head.key (Atomic.get t.head.next)
+end
+
+module Int = Make (Lf_kernel.Ordered.Int)

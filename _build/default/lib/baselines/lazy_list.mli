@@ -1,0 +1,13 @@
+(** Lazy-synchronization list (Heller et al. 2005): the strongest common
+    lock-based linked-list baseline.  Wait-free [find]/[mem]; [insert] and
+    [delete] lock the two adjacent nodes, validate, and apply; marked flags
+    make the unlocked traversal safe.  Real mutexes, so domains only (not
+    usable inside the simulator). *)
+
+module Make (K : Lf_kernel.Ordered.S) : sig
+  include Lf_kernel.Dict_intf.S with type key = K.t
+
+  val fold : 'a t -> ('b -> key -> 'a -> 'b) -> 'b -> 'b
+end
+
+module Int : Lf_kernel.Dict_intf.S with type key = int

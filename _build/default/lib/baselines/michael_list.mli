@@ -1,0 +1,14 @@
+(** Michael's lock-free list (SPAA 2002), the paper's citation [8]:
+    Harris-style marking with a traversal that unlinks marked nodes one at a
+    time (the structure that makes it compatible with safe memory
+    reclamation — moot under OCaml's GC, but the traversal and its
+    restart-from-head behaviour are preserved). *)
+
+module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
+  include Lf_kernel.Dict_intf.S with type key = K.t
+
+  val fold : 'a t -> ('b -> key -> 'a -> 'b) -> 'b -> 'b
+end
+
+module Atomic_int :
+  module type of Make (Lf_kernel.Ordered.Int) (Lf_kernel.Atomic_mem)

@@ -1,0 +1,79 @@
+(* Plain sequential sorted linked list: the correctness oracle for the
+   concurrent implementations and the "necessary cost" baseline of the
+   paper's amortized analysis (the steps even a sequential algorithm must
+   take). *)
+
+module Make (K : Lf_kernel.Ordered.S) = struct
+  type key = K.t
+
+  type 'a node = {
+    nkey : K.t;
+    nelt : 'a;
+    mutable nnext : 'a node option;
+  }
+
+  type 'a t = { mutable first : 'a node option; mutable size : int }
+
+  let name = "seq-list"
+  let create () = { first = None; size = 0 }
+
+  (* Returns (predecessor option, first node with key >= k option). *)
+  let locate t k =
+    let rec go prev curr =
+      match curr with
+      | Some n when K.compare n.nkey k < 0 -> go curr n.nnext
+      | _ -> (prev, curr)
+    in
+    go None t.first
+
+  let find t k =
+    match locate t k with
+    | _, Some n when K.compare n.nkey k = 0 -> Some n.nelt
+    | _ -> None
+
+  let mem t k = Option.is_some (find t k)
+
+  let insert t k e =
+    match locate t k with
+    | _, Some n when K.compare n.nkey k = 0 -> false
+    | prev, curr ->
+        let node = { nkey = k; nelt = e; nnext = curr } in
+        (match prev with
+        | None -> t.first <- Some node
+        | Some p -> p.nnext <- Some node);
+        t.size <- t.size + 1;
+        true
+
+  let delete t k =
+    match locate t k with
+    | prev, Some n when K.compare n.nkey k = 0 ->
+        (match prev with
+        | None -> t.first <- n.nnext
+        | Some p -> p.nnext <- n.nnext);
+        t.size <- t.size - 1;
+        true
+    | _ -> false
+
+  let to_list t =
+    let rec go acc = function
+      | None -> List.rev acc
+      | Some n -> go ((n.nkey, n.nelt) :: acc) n.nnext
+    in
+    go [] t.first
+
+  let length t = t.size
+
+  let check_invariants t =
+    let rec go count = function
+      | None ->
+          if count <> t.size then failwith "seq-list: size counter mismatch"
+      | Some n -> (
+          match n.nnext with
+          | Some m when K.compare n.nkey m.nkey >= 0 ->
+              failwith "seq-list: keys unsorted"
+          | _ -> go (count + 1) n.nnext)
+    in
+    go 0 t.first
+end
+
+module Int = Make (Lf_kernel.Ordered.Int)

@@ -1,0 +1,9 @@
+(** Plain sequential sorted linked list: the correctness oracle for the
+    concurrent lists and the "necessary cost" reference of the paper's
+    amortized analysis (the steps even a sequential algorithm must take). *)
+
+module Make (K : Lf_kernel.Ordered.S) : sig
+  include Lf_kernel.Dict_intf.S with type key = K.t
+end
+
+module Int : Lf_kernel.Dict_intf.S with type key = int

@@ -1,0 +1,17 @@
+(** Valois's lock-free linked list (PODC 1995), the paper's citation [17]:
+    auxiliary nodes between cells, cursor-based operations, back_links set
+    on deletion to the cursor's (possibly already deleted) predecessor.
+
+    The structural weakness the paper discusses in Section 2 — back_link
+    chains of deleted cells can grow with the number of operations, and a
+    deletion's cleanup walks the whole chain — is reproduced by EXP-3
+    (average cost Omega(m) while list size and contention stay O(1)). *)
+
+module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
+  include Lf_kernel.Dict_intf.S with type key = K.t
+
+  val fold : 'a t -> ('b -> key -> 'a -> 'b) -> 'b -> 'b
+end
+
+module Atomic_int :
+  module type of Make (Lf_kernel.Ordered.Int) (Lf_kernel.Atomic_mem)

@@ -1,0 +1,1 @@
+lib/core/fr_list.ml: Bool Format Lf_kernel List Option

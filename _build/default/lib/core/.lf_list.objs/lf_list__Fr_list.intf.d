@@ -1,0 +1,1 @@
+lib/core/fr_list.mli: Lf_kernel

@@ -1,0 +1,1 @@
+lib/dsim/explore.ml: Array List Sim

@@ -1,0 +1,1 @@
+lib/dsim/explore.mli: Sim

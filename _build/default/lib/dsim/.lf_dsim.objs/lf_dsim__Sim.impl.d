@@ -1,0 +1,1 @@
+lib/dsim/sim.ml: Array Effect Lf_kernel List Option Sim_effect

@@ -1,0 +1,1 @@
+lib/dsim/sim.mli: Lf_kernel Sim_effect

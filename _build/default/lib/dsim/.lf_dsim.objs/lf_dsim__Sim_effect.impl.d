@@ -1,0 +1,1 @@
+lib/dsim/sim_effect.ml: Effect Lf_kernel

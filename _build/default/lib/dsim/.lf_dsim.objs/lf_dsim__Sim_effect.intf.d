@@ -1,0 +1,1 @@
+lib/dsim/sim_effect.mli: Effect Lf_kernel

@@ -1,0 +1,1 @@
+lib/dsim/sim_mem.ml: Effect Sim_effect

@@ -1,0 +1,1 @@
+lib/dsim/sim_mem.mli: Lf_kernel

@@ -1,0 +1,1 @@
+lib/dsim/trace.ml: Array Format List Printf Sim Sim_effect String

@@ -1,0 +1,316 @@
+(* Deterministic scheduler for processes whose shared-memory accesses go
+   through {!Sim_mem}.
+
+   A simulation runs an array of process bodies cooperatively: each scheduler
+   iteration picks one process and resumes it, which executes exactly one
+   pending shared-memory action (read / write / C&S / pause) plus the private
+   computation up to its next one.  Policies:
+   - [Round_robin] and [Random seed] model fair and arbitrary schedules;
+   - [Custom f] hands the choice to an adversary that can inspect the full
+     simulator state (what every process is about to do, how many operations
+     it has completed, ...) - this is how the executions of Sections 2, 3.1
+     and 4 of the paper are constructed.
+
+   The scheduler also keeps the books for the Section 3.4 cost model: per
+   process counters, and per *operation* records (essential steps, n(S)
+   supplied by the harness at [op_begin], and the point contention c(S)
+   observed while the operation ran). *)
+
+module Counters = Lf_kernel.Counters
+
+type pid = int
+
+type op_record = {
+  op_pid : pid;
+  op_index : int; (* per-process sequence number, from 0 *)
+  n_at_start : int;
+  mutable c_max : int;
+  mutable essential : int;
+  mutable op_cas_attempts : int;
+  mutable op_backlinks : int;
+  mutable op_next_updates : int;
+  mutable op_curr_updates : int;
+  mutable op_aux_steps : int;
+  mutable op_reads : int;
+  mutable completed : bool;
+}
+
+type proc_status =
+  | Not_started of (unit -> unit)
+  | Blocked of Sim_effect.step_kind * (unit, unit) Effect.Deep.continuation
+  | Running (* transient, while the process executes *)
+  | Finished
+
+type state = {
+  procs : proc_status array;
+  counters : Counters.t array;
+  mutable current : pid;
+  mutable total_steps : int;
+  mutable active_ops : int;
+  current_op : op_record option array;
+  mutable records : op_record list; (* completed + (at the end) unfinished *)
+  mutable op_counter : int array;
+  mutable last_step : (pid * Sim_effect.step_kind) option;
+}
+
+type policy =
+  | Round_robin
+  | Random of int (* seed *)
+  | Custom of (state -> pid option)
+      (** Return the pid to run next, or [None] to stop the simulation. *)
+
+type result = {
+  steps : int;
+  per_proc : Counters.t array;
+  ops : op_record list; (* in completion order; unfinished ops appended *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* Introspection used by tests, benches and custom policies.           *)
+
+let num_procs st = Array.length st.procs
+let is_finished st pid = st.procs.(pid) = Finished
+
+let pending_kind st pid =
+  match st.procs.(pid) with
+  | Blocked (k, _) -> Some k
+  | Not_started _ | Running | Finished -> None
+
+let ops_completed st pid = st.op_counter.(pid)
+let in_operation st pid = Option.is_some st.current_op.(pid)
+let active_ops st = st.active_ops
+let counters st pid = st.counters.(pid)
+let total_steps st = st.total_steps
+
+let last_step st = st.last_step
+
+let runnable st =
+  let out = ref [] in
+  for pid = num_procs st - 1 downto 0 do
+    match st.procs.(pid) with
+    | Finished | Running -> ()
+    | Not_started _ | Blocked _ -> out := pid :: !out
+  done;
+  !out
+
+(* ------------------------------------------------------------------ *)
+(* Operation boundaries, called from process bodies.                   *)
+
+let op_begin ~n = Effect.perform (Sim_effect.Note (Op_begin n))
+let op_end () = Effect.perform (Sim_effect.Note Op_end)
+
+(* ------------------------------------------------------------------ *)
+(* Accounting.                                                         *)
+
+let record_step st pid (k : Sim_effect.step_kind) =
+  let c = st.counters.(pid) in
+  (match k with
+  | Read -> c.Counters.reads <- c.Counters.reads + 1
+  | Write -> c.Counters.writes <- c.Counters.writes + 1
+  | Cas kind -> Counters.record_cas_attempt c kind
+  | Pause -> ());
+  match st.current_op.(pid) with
+  | None -> ()
+  | Some op -> (
+      match k with
+      | Cas _ ->
+          op.essential <- op.essential + 1;
+          op.op_cas_attempts <- op.op_cas_attempts + 1
+      | Read -> op.op_reads <- op.op_reads + 1
+      | Write | Pause -> ())
+
+let record_note st pid (n : Sim_effect.note) =
+  let c = st.counters.(pid) in
+  (match n with
+  | Ev e -> Counters.record c e
+  | Cas_ok kind -> Counters.record_cas_success c kind
+  | Cas_fail _ -> ()
+  | Op_begin _ | Op_end -> ());
+  match n with
+  | Ev e -> (
+      match st.current_op.(pid) with
+      | None -> ()
+      | Some op -> (
+          match e with
+          | Backlink_step ->
+              op.essential <- op.essential + 1;
+              op.op_backlinks <- op.op_backlinks + 1
+          | Next_update ->
+              op.essential <- op.essential + 1;
+              op.op_next_updates <- op.op_next_updates + 1
+          | Curr_update ->
+              op.essential <- op.essential + 1;
+              op.op_curr_updates <- op.op_curr_updates + 1
+          | Aux_step ->
+              op.essential <- op.essential + 1;
+              op.op_aux_steps <- op.op_aux_steps + 1
+          | Retry | Help | User _ -> ()))
+  | Op_begin n_at_start ->
+      if in_operation st pid then
+        failwith "Sim: nested op_begin without op_end";
+      let op =
+        {
+          op_pid = pid;
+          op_index = st.op_counter.(pid);
+          n_at_start;
+          c_max = 0;
+          essential = 0;
+          op_cas_attempts = 0;
+          op_backlinks = 0;
+          op_next_updates = 0;
+          op_curr_updates = 0;
+          op_aux_steps = 0;
+          op_reads = 0;
+          completed = false;
+        }
+      in
+      st.current_op.(pid) <- Some op;
+      st.active_ops <- st.active_ops + 1;
+      (* Point contention just rose: every active operation (including the
+         new one) may now observe this many concurrent operations. *)
+      Array.iter
+        (function
+          | Some o -> o.c_max <- max o.c_max st.active_ops
+          | None -> ())
+        st.current_op
+  | Op_end -> (
+      match st.current_op.(pid) with
+      | None -> failwith "Sim: op_end without op_begin"
+      | Some op ->
+          op.completed <- true;
+          st.op_counter.(pid) <- st.op_counter.(pid) + 1;
+          st.current_op.(pid) <- None;
+          st.active_ops <- st.active_ops - 1;
+          st.records <- op :: st.records)
+  | Cas_ok _ | Cas_fail _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The engine.                                                         *)
+
+let handle st pid (f : unit -> unit) =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun () -> st.procs.(pid) <- Finished);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sim_effect.Step k ->
+              Some
+                (fun (cont : (a, unit) Effect.Deep.continuation) ->
+                  st.procs.(pid) <- Blocked (k, cont))
+          | Sim_effect.Note n ->
+              Some
+                (fun (cont : (a, unit) Effect.Deep.continuation) ->
+                  record_note st pid n;
+                  Effect.Deep.continue cont ())
+          | _ -> None);
+    }
+
+exception Step_budget_exhausted of int
+
+(* Run [f] with simulator-memory effects executed silently and immediately:
+   no scheduling, no accounting.  This is how observers (invariant checkers
+   in [on_step], result validators after [run], setup code that prefers plain
+   calls) may touch structures built over [Sim_mem] from outside a simulated
+   process. *)
+let quiet (f : unit -> 'a) : 'a =
+  Effect.Deep.match_with f ()
+    {
+      retc = (fun x -> x);
+      exnc = raise;
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Sim_effect.Step _ ->
+              Some
+                (fun (cont : (a, _) Effect.Deep.continuation) ->
+                  Effect.Deep.continue cont ())
+          | Sim_effect.Note _ ->
+              Some
+                (fun (cont : (a, _) Effect.Deep.continuation) ->
+                  Effect.Deep.continue cont ())
+          | _ -> None);
+    }
+
+let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
+    (bodies : (pid -> unit) array) : result =
+  let p = Array.length bodies in
+  let st =
+    {
+      procs = Array.mapi (fun pid body -> Not_started (fun () -> body pid)) bodies;
+      counters = Array.init p (fun _ -> Counters.create ());
+      current = 0;
+      total_steps = 0;
+      active_ops = 0;
+      current_op = Array.make p None;
+      records = [];
+      op_counter = Array.make p 0;
+      last_step = None;
+    }
+  in
+  let rng =
+    match policy with Random seed -> Lf_kernel.Splitmix.create seed | _ -> Lf_kernel.Splitmix.create 0
+  in
+  let choose last =
+    match policy with
+    | Round_robin ->
+        let rec scan i tries =
+          if tries > p then None
+          else
+            let pid = i mod p in
+            match st.procs.(pid) with
+            | Finished | Running -> scan (i + 1) (tries + 1)
+            | Not_started _ | Blocked _ -> Some pid
+        in
+        scan (last + 1) 0
+    | Random _ -> (
+        match runnable st with
+        | [] -> None
+        | rs ->
+            let arr = Array.of_list rs in
+            Some arr.(Lf_kernel.Splitmix.int rng (Array.length arr)))
+    | Custom f -> (
+        match runnable st with [] -> None | _ -> f st)
+  in
+  let rec loop last =
+    match choose last with
+    | None -> ()
+    | Some pid ->
+        st.current <- pid;
+        (match st.procs.(pid) with
+        | Not_started body ->
+            (* Launching a body runs only private code up to its first
+               shared-memory access; it is not itself a step. *)
+            st.procs.(pid) <- Running;
+            handle st pid body
+        | Blocked (k, cont) ->
+            st.total_steps <- st.total_steps + 1;
+            if st.total_steps > max_steps then
+              raise (Step_budget_exhausted st.total_steps);
+            st.procs.(pid) <- Running;
+            st.last_step <- Some (pid, k);
+            record_step st pid k;
+            Effect.Deep.continue cont ()
+        | Running -> failwith "Sim: scheduled a running process"
+        | Finished -> failwith "Sim: scheduled a finished process");
+        (match on_step with Some f -> f st pid | None -> ());
+        loop pid
+  in
+  loop (p - 1);
+  (* Fold still-open operations into the records so that executions the
+     adversary cuts short (operations held forever at a pending C&S, as in
+     the Section 3.1 construction) are still accounted for. *)
+  Array.iter
+    (function Some op -> st.records <- op :: st.records | None -> ())
+    st.current_op;
+  { steps = st.total_steps; per_proc = st.counters; ops = List.rev st.records }
+
+(* Total essential steps across an execution, and the paper's bound
+   candidate: sum over operations of (n(S) + c(S)).  EXP-1 checks that the
+   ratio of the two stays below a fixed constant. *)
+let total_essential (r : result) =
+  List.fold_left (fun acc op -> acc + op.essential) 0 r.ops
+
+let bound_sum (r : result) =
+  List.fold_left (fun acc op -> acc + op.n_at_start + op.c_max) 0 r.ops

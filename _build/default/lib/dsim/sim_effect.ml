@@ -1,0 +1,32 @@
+(* Effects shared between the simulator's memory and its scheduler.
+
+   Every shared-memory access performs [Step] *before* executing its action:
+   the scheduler captures the continuation there, so the set of pending
+   [Step]s describes exactly what each process is about to do next - which is
+   what scripted adversaries (e.g. the Section 3.1 construction) inspect to
+   decide whom to run.  [Note]s are instantaneous annotations (cost-model
+   events, operation boundaries); the scheduler resumes them immediately, so
+   they are not scheduling points. *)
+
+type step_kind =
+  | Read
+  | Write
+  | Cas of Lf_kernel.Mem_event.cas_kind
+  | Pause
+
+type note =
+  | Ev of Lf_kernel.Mem_event.t
+  | Cas_ok of Lf_kernel.Mem_event.cas_kind
+  | Cas_fail of Lf_kernel.Mem_event.cas_kind
+  | Op_begin of int  (* harness-supplied n(S): structure size at invocation *)
+  | Op_end
+
+type _ Effect.t +=
+  | Step : step_kind -> unit Effect.t
+  | Note : note -> unit Effect.t
+
+let step_kind_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Cas k -> Lf_kernel.Mem_event.cas_kind_to_string k
+  | Pause -> "pause"

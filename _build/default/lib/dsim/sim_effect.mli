@@ -1,0 +1,29 @@
+(** Effects shared between the simulator's memory and its scheduler.
+
+    Every shared-memory access performs {!extension-Step} {e before}
+    executing its action: the scheduler captures the continuation there, so
+    the set of pending steps describes exactly what each process is about to
+    do next - which is what scripted adversaries (e.g. the Section 3.1
+    construction) inspect to decide whom to run.  {!extension-Note}s are
+    instantaneous annotations (cost-model events, operation boundaries) that
+    are not scheduling points. *)
+
+type step_kind =
+  | Read
+  | Write
+  | Cas of Lf_kernel.Mem_event.cas_kind
+  | Pause
+
+type note =
+  | Ev of Lf_kernel.Mem_event.t
+  | Cas_ok of Lf_kernel.Mem_event.cas_kind
+  | Cas_fail of Lf_kernel.Mem_event.cas_kind
+  | Op_begin of int
+      (** harness-supplied n(S): structure size at invocation *)
+  | Op_end
+
+type _ Effect.t +=
+  | Step : step_kind -> unit Effect.t
+  | Note : note -> unit Effect.t
+
+val step_kind_to_string : step_kind -> string

@@ -1,0 +1,34 @@
+(* The simulator's shared memory: an implementation of [Lf_kernel.Mem.S]
+   whose every operation is a deterministic scheduling point.
+
+   Cells are plain mutable records - safe because the scheduler interleaves
+   processes cooperatively on a single domain; atomicity of each access is
+   guaranteed by the fact that a resumed process executes its pending action
+   before any other process can run. *)
+
+type 'a aref = { mutable v : 'a }
+
+let make v = { v }
+
+let get r =
+  Effect.perform (Sim_effect.Step Read);
+  r.v
+
+let cas r ~kind ~expect v' =
+  Effect.perform (Sim_effect.Step (Cas kind));
+  if r.v == expect then begin
+    r.v <- v';
+    Effect.perform (Sim_effect.Note (Cas_ok kind));
+    true
+  end
+  else begin
+    Effect.perform (Sim_effect.Note (Cas_fail kind));
+    false
+  end
+
+let set r v =
+  Effect.perform (Sim_effect.Step Write);
+  r.v <- v
+
+let event e = Effect.perform (Sim_effect.Note (Ev e))
+let pause _n = Effect.perform (Sim_effect.Step Pause)

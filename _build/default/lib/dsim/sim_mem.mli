@@ -1,0 +1,12 @@
+(** The simulator's shared memory: a [Lf_kernel.Mem.S] whose every operation
+    is a deterministic scheduling point.
+
+    Cells are plain mutable records - safe because the scheduler interleaves
+    processes cooperatively on one domain, and a resumed process executes
+    its pending action before any other process can run.
+
+    Code touching such cells must run either inside a simulated process
+    (under {!Sim.run}) or under {!Sim.quiet}; anywhere else the performed
+    effects are unhandled. *)
+
+include Lf_kernel.Mem.S

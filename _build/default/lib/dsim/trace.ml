@@ -1,0 +1,53 @@
+(* Schedule traces: a bounded recorder of the shared-memory actions a
+   simulation executes, attachable as an [on_step] callback.  Useful for
+   debugging adversarial policies and for rendering executions (the FIG-1/2
+   regenerators use a structural variant of the same idea). *)
+
+type entry = { t_index : int; t_pid : Sim.pid; t_kind : Sim_effect.step_kind }
+
+type t = {
+  capacity : int;
+  buf : entry option array;
+  mutable total : int;
+}
+
+let create ?(capacity = 4096) () =
+  { capacity; buf = Array.make capacity None; total = 0 }
+
+(* The callback to pass as [Sim.run ~on_step].  Keeps the last [capacity]
+   steps. *)
+let on_step t (st : Sim.state) (_pid : Sim.pid) =
+  match Sim.last_step st with
+  | None -> ()
+  | Some (pid, kind) ->
+      t.buf.(t.total mod t.capacity) <-
+        Some { t_index = t.total; t_pid = pid; t_kind = kind };
+      t.total <- t.total + 1
+
+let total t = t.total
+
+(* Oldest-first entries still in the buffer. *)
+let entries t =
+  let n = min t.total t.capacity in
+  let start = t.total - n in
+  List.init n (fun i ->
+      match t.buf.((start + i) mod t.capacity) with
+      | Some e -> e
+      | None -> assert false)
+
+let pp_entry fmt e =
+  Format.fprintf fmt "%4d p%d %s" e.t_index e.t_pid
+    (Sim_effect.step_kind_to_string e.t_kind)
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%a@]"
+    (Format.pp_print_list pp_entry)
+    (entries t)
+
+(* Compact single-line rendering: "p0:read p1:flag-cas ...". *)
+let to_string t =
+  entries t
+  |> List.map (fun e ->
+         Printf.sprintf "p%d:%s" e.t_pid
+           (Sim_effect.step_kind_to_string e.t_kind))
+  |> String.concat " "

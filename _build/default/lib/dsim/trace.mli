@@ -1,0 +1,18 @@
+(** Bounded recorder of the shared-memory actions a simulation executes.
+    Attach {!on_step} as the [~on_step] callback of {!Sim.run}; the last
+    [capacity] steps stay available for rendering. *)
+
+type entry = { t_index : int; t_pid : Sim.pid; t_kind : Sim_effect.step_kind }
+
+type t
+
+val create : ?capacity:int -> unit -> t
+val on_step : t -> Sim.state -> Sim.pid -> unit
+val total : t -> int
+(** Steps observed since creation (may exceed capacity). *)
+
+val entries : t -> entry list
+(** Oldest-first entries still buffered. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

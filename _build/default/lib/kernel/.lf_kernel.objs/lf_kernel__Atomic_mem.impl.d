@@ -1,0 +1,1 @@
+lib/kernel/atomic_mem.ml: Atomic Domain Mem_event

@@ -1,0 +1,1 @@
+lib/kernel/atomic_mem.mli: Atomic Mem

@@ -1,0 +1,1 @@
+lib/kernel/counters.ml: Array Format Mem_event

@@ -1,0 +1,1 @@
+lib/kernel/counters.mli: Format Mem_event

@@ -1,0 +1,1 @@
+lib/kernel/counting_mem.ml: Atomic Counters Domain List

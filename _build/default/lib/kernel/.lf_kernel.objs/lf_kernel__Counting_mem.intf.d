@@ -1,0 +1,1 @@
+lib/kernel/counting_mem.mli: Atomic Counters Mem

@@ -1,0 +1,1 @@
+lib/kernel/dict_intf.mli: Mem Ordered

@@ -1,0 +1,1 @@
+lib/kernel/mem.ml: Mem_event

@@ -1,0 +1,1 @@
+lib/kernel/mem.mli: Mem_event

@@ -1,0 +1,1 @@
+lib/kernel/mem_event.mli: Format

@@ -1,0 +1,1 @@
+lib/kernel/ordered.ml: Format Int String

@@ -1,0 +1,1 @@
+lib/kernel/splitmix.ml: Int64

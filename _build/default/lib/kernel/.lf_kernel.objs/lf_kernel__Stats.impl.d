@@ -1,0 +1,1 @@
+lib/kernel/stats.ml: Array Format

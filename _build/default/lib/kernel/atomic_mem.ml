@@ -1,0 +1,16 @@
+(* Production memory: plain [Atomic.t] cells, events erased. *)
+
+type 'a aref = 'a Atomic.t
+
+let make = Atomic.make
+let get = Atomic.get
+let cas r ~kind:_ ~expect v = Atomic.compare_and_set r expect v
+let set = Atomic.set
+let event (_ : Mem_event.t) = ()
+
+let pause n =
+  (* Bounded exponential backoff in units of [cpu_relax]. *)
+  let spins = 1 lsl min n 8 in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done

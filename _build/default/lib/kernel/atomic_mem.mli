@@ -1,0 +1,4 @@
+(** Production memory: plain [Atomic.t] cells; cost-model events are erased
+    so the hot path pays nothing for the instrumentation hooks. *)
+
+include Mem.S with type 'a aref = 'a Atomic.t

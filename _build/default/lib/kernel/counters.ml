@@ -1,0 +1,113 @@
+(* Mutable tallies for the Section 3.4 cost model.  One [t] per domain (or per
+   simulated process); merge with [add_into] for totals. *)
+
+type t = {
+  mutable cas_attempts : int array; (* indexed by cas_kind tag *)
+  mutable cas_successes : int array;
+  mutable backlink_steps : int;
+  mutable next_updates : int;
+  mutable curr_updates : int;
+  mutable aux_steps : int;
+  mutable retries : int;
+  mutable helps : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+let cas_kinds =
+  Mem_event.[ Insertion; Flagging; Marking; Physical_delete; Other_cas ]
+
+let kind_index : Mem_event.cas_kind -> int = function
+  | Insertion -> 0
+  | Flagging -> 1
+  | Marking -> 2
+  | Physical_delete -> 3
+  | Other_cas -> 4
+
+let create () =
+  {
+    cas_attempts = Array.make 5 0;
+    cas_successes = Array.make 5 0;
+    backlink_steps = 0;
+    next_updates = 0;
+    curr_updates = 0;
+    aux_steps = 0;
+    retries = 0;
+    helps = 0;
+    reads = 0;
+    writes = 0;
+  }
+
+let reset t =
+  Array.fill t.cas_attempts 0 5 0;
+  Array.fill t.cas_successes 0 5 0;
+  t.backlink_steps <- 0;
+  t.next_updates <- 0;
+  t.curr_updates <- 0;
+  t.aux_steps <- 0;
+  t.retries <- 0;
+  t.helps <- 0;
+  t.reads <- 0;
+  t.writes <- 0
+
+let record_cas_attempt t k =
+  let i = kind_index k in
+  t.cas_attempts.(i) <- t.cas_attempts.(i) + 1
+
+let record_cas_success t k =
+  let i = kind_index k in
+  t.cas_successes.(i) <- t.cas_successes.(i) + 1
+
+let record t (e : Mem_event.t) =
+  match e with
+  | Backlink_step -> t.backlink_steps <- t.backlink_steps + 1
+  | Next_update -> t.next_updates <- t.next_updates + 1
+  | Curr_update -> t.curr_updates <- t.curr_updates + 1
+  | Aux_step -> t.aux_steps <- t.aux_steps + 1
+  | Retry -> t.retries <- t.retries + 1
+  | Help -> t.helps <- t.helps + 1
+  | User _ -> ()
+
+let total_cas_attempts t = Array.fold_left ( + ) 0 t.cas_attempts
+let total_cas_successes t = Array.fold_left ( + ) 0 t.cas_successes
+
+(* The "essential steps" of the paper's cost model: C&S attempts plus backlink
+   traversals plus next/curr pointer updates.  [aux_steps] is included so the
+   Valois baseline is charged for its auxiliary-node traversals, which play
+   the role of pointer updates in its searches. *)
+let essential_steps t =
+  total_cas_attempts t + t.backlink_steps + t.next_updates + t.curr_updates
+  + t.aux_steps
+
+let add_into ~into:a b =
+  for i = 0 to 4 do
+    a.cas_attempts.(i) <- a.cas_attempts.(i) + b.cas_attempts.(i);
+    a.cas_successes.(i) <- a.cas_successes.(i) + b.cas_successes.(i)
+  done;
+  a.backlink_steps <- a.backlink_steps + b.backlink_steps;
+  a.next_updates <- a.next_updates + b.next_updates;
+  a.curr_updates <- a.curr_updates + b.curr_updates;
+  a.aux_steps <- a.aux_steps + b.aux_steps;
+  a.retries <- a.retries + b.retries;
+  a.helps <- a.helps + b.helps;
+  a.reads <- a.reads + b.reads;
+  a.writes <- a.writes + b.writes
+
+let copy t =
+  let c = create () in
+  add_into ~into:c t;
+  c
+
+let pp fmt t =
+  Format.fprintf fmt
+    "@[<v>cas attempts: %d (ok %d)  [ins %d/%d flag %d/%d mark %d/%d unlink \
+     %d/%d other %d/%d]@,\
+     backlinks: %d  next-updates: %d  curr-updates: %d  aux: %d@,\
+     retries: %d  helps: %d  reads: %d  writes: %d@,\
+     essential steps: %d@]"
+    (total_cas_attempts t) (total_cas_successes t)
+    t.cas_successes.(0) t.cas_attempts.(0) t.cas_successes.(1)
+    t.cas_attempts.(1) t.cas_successes.(2) t.cas_attempts.(2)
+    t.cas_successes.(3) t.cas_attempts.(3) t.cas_successes.(4)
+    t.cas_attempts.(4) t.backlink_steps t.next_updates t.curr_updates
+    t.aux_steps t.retries t.helps t.reads t.writes (essential_steps t)

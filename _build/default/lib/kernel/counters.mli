@@ -1,0 +1,43 @@
+(** Mutable tallies for the Section 3.4 cost model: C&S attempts and
+    successes by kind, backlink traversals, search pointer updates, plus
+    secondary metrics (reads, writes, retries, helping entries).
+
+    One [t] per domain or simulated process; merge with {!add_into}. *)
+
+type t = {
+  mutable cas_attempts : int array;  (** indexed by {!kind_index} *)
+  mutable cas_successes : int array;
+  mutable backlink_steps : int;
+  mutable next_updates : int;
+  mutable curr_updates : int;
+  mutable aux_steps : int;
+  mutable retries : int;
+  mutable helps : int;
+  mutable reads : int;
+  mutable writes : int;
+}
+
+val cas_kinds : Mem_event.cas_kind list
+(** The five kinds, in index order. *)
+
+val kind_index : Mem_event.cas_kind -> int
+(** Position of a kind in the [cas_attempts]/[cas_successes] arrays. *)
+
+val create : unit -> t
+val reset : t -> unit
+val copy : t -> t
+
+val record_cas_attempt : t -> Mem_event.cas_kind -> unit
+val record_cas_success : t -> Mem_event.cas_kind -> unit
+val record : t -> Mem_event.t -> unit
+
+val total_cas_attempts : t -> int
+val total_cas_successes : t -> int
+
+val essential_steps : t -> int
+(** The paper's essential-step count: C&S attempts + backlink traversals +
+    next/curr pointer updates (+ auxiliary-node traversals, so the Valois
+    baseline is charged for its searches too). *)
+
+val add_into : into:t -> t -> unit
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,65 @@
+(* Real atomics with per-domain cost-model counters.
+
+   Each domain that touches the structure gets its own [Counters.t] via
+   domain-local storage, so counting adds no synchronization to the hot path.
+   Call [snapshot ()] from each participating domain (or [grand_total] after
+   joining) to collect results. *)
+
+type 'a aref = 'a Atomic.t
+
+let registry : (int * Counters.t) list Atomic.t = Atomic.make []
+
+let register c =
+  let id = (Domain.self () :> int) in
+  let rec add () =
+    let old = Atomic.get registry in
+    if not (Atomic.compare_and_set registry old ((id, c) :: old)) then add ()
+  in
+  add ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let c = Counters.create () in
+      register c;
+      c)
+
+let local () = Domain.DLS.get key
+
+(* Sum of the counters of every domain that ever touched the structure.
+   Only meaningful at quiescence (after joining the worker domains). *)
+let grand_total () =
+  let total = Counters.create () in
+  List.iter
+    (fun (_, c) -> Counters.add_into ~into:total c)
+    (Atomic.get registry);
+  total
+
+let reset_all () =
+  List.iter (fun (_, c) -> Counters.reset c) (Atomic.get registry)
+
+let make = Atomic.make
+
+let get r =
+  let c = local () in
+  c.Counters.reads <- c.Counters.reads + 1;
+  Atomic.get r
+
+let cas r ~kind ~expect v =
+  let c = local () in
+  Counters.record_cas_attempt c kind;
+  let ok = Atomic.compare_and_set r expect v in
+  if ok then Counters.record_cas_success c kind;
+  ok
+
+let set r v =
+  let c = local () in
+  c.Counters.writes <- c.Counters.writes + 1;
+  Atomic.set r v
+
+let event e = Counters.record (local ()) e
+
+let pause n =
+  let spins = 1 lsl min n 8 in
+  for _ = 1 to spins do
+    Domain.cpu_relax ()
+  done

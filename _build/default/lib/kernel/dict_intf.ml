@@ -1,0 +1,39 @@
+(* The dictionary abstract data type every implementation in this repository
+   exposes (the paper's SEARCH / INSERT / DELETE, in OCaml clothing).  The
+   uniform signature is what lets the workload runner, the stress tests and
+   the benchmarks be written once and applied to every algorithm. *)
+
+module type S = sig
+  type key
+  type 'a t
+
+  val name : string
+  (** Short human-readable identifier used in benchmark tables. *)
+
+  val create : unit -> 'a t
+
+  val find : 'a t -> key -> 'a option
+  (** SEARCH: the element bound to [key], if present. *)
+
+  val mem : 'a t -> key -> bool
+
+  val insert : 'a t -> key -> 'a -> bool
+  (** INSERT: [true] on success, [false] if the key was already present
+      (DUPLICATE_KEY). *)
+
+  val delete : 'a t -> key -> bool
+  (** DELETE: [true] on success, [false] if absent (NO_SUCH_KEY). *)
+
+  val to_list : 'a t -> (key * 'a) list
+  (** Snapshot of the regular nodes in key order.  Only meaningful at
+      quiescence for the concurrent implementations. *)
+
+  val length : 'a t -> int
+
+  val check_invariants : 'a t -> unit
+  (** Raises [Failure] if a structural invariant (sortedness, INV 1-5 where
+      applicable) is violated.  Quiescent use only. *)
+end
+
+module type MAKER = functor (K : Ordered.S) (M : Mem.S) ->
+  S with type key = K.t

@@ -1,0 +1,39 @@
+(** Shared-memory abstraction.
+
+    Every concurrent structure in this repository is a functor over
+    {!module-type:S}, so the exact same algorithm code runs on real atomics
+    ({!Atomic_mem}), with per-domain cost counters ({!Counting_mem}), or
+    inside the deterministic simulator ([Lf_dsim.Sim_mem]) where each shared
+    access is a scheduling point.  This is the repository's load-bearing
+    design decision: the code that is measured is the code that ships. *)
+
+module type S = sig
+  type 'a aref
+  (** A single shared word holding an immutable value of type ['a]. *)
+
+  val make : 'a -> 'a aref
+  (** Allocate a cell.  Never a scheduling point (fresh cells are private
+      until published by a C&S). *)
+
+  val get : 'a aref -> 'a
+  (** Atomic read. *)
+
+  val cas : 'a aref -> kind:Mem_event.cas_kind -> expect:'a -> 'a -> bool
+  (** Single-word compare-and-swap with {e physical equality} on [expect].
+      [kind] classifies the attempt for the Section 3.4 cost model.  The
+      paper's C&S returns the old value; OCaml's returns a boolean, so call
+      sites that branch on the failure reason re-read the cell and
+      re-validate (every such branch in the algorithms is self-validating;
+      see DESIGN.md). *)
+
+  val set : 'a aref -> 'a -> unit
+  (** Unconditional store.  Used only for backlink pointers, which every
+      racing helper writes with the same value. *)
+
+  val event : Mem_event.t -> unit
+  (** Cost-model annotation.  Never a scheduling point. *)
+
+  val pause : int -> unit
+  (** Backoff hint after [n] consecutive failures: [cpu_relax] spinning on
+      real memory, a yield in the simulator. *)
+end

@@ -1,0 +1,26 @@
+(** Key discipline for the dictionaries, plus the -inf / +inf sentinels the
+    paper stores in the head and tail nodes. *)
+
+module type S = sig
+  type t
+
+  val compare : t -> t -> int
+  val pp : Format.formatter -> t -> unit
+end
+
+module Int : S with type t = int
+module String : S with type t = string
+
+(** A key extended with the sentinels: [Neg_inf < Mid k < Pos_inf]. *)
+type 'a bounded = Neg_inf | Mid of 'a | Pos_inf
+
+(** Total order on bounded keys. *)
+module Bounded (K : S) : sig
+  type t = K.t bounded
+
+  val compare : t -> t -> int
+  val lt : t -> t -> bool
+  val le : t -> t -> bool
+  val equal : t -> t -> bool
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,28 @@
+(** SplitMix64 (Steele, Lea & Flood 2014): a small, fast, splittable PRNG.
+
+    Used for every random choice in the repository so that tests,
+    simulations and benchmarks are reproducible from one integer seed.
+    Derive independent per-process streams with {!split}. *)
+
+type t
+
+val create : int -> t
+(** A generator seeded with the given integer. *)
+
+val split : t -> t
+(** A statistically independent child stream (advances the parent). *)
+
+val next_int64 : t -> int64
+(** The next raw 64-bit output. *)
+
+val bits : t -> int
+(** A uniformly random non-negative 62-bit integer. *)
+
+val int : t -> int -> int
+(** [int t n] is uniform in [\[0, n)]; rejection-sampled, so unbiased.
+    @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float
+(** Uniform in [\[0, 1)]. *)
+
+val bool : t -> bool

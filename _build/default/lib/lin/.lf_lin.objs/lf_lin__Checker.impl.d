@@ -1,0 +1,1 @@
+lib/lin/checker.ml: Array Hashtbl History Int Set

@@ -1,0 +1,1 @@
+lib/lin/checker.mli: History Set

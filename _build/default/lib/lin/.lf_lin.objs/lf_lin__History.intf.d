@@ -1,0 +1,1 @@
+lib/lin/history.mli: Format

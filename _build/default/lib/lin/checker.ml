@@ -1,0 +1,60 @@
+(* Linearizability checker for dictionary histories (Wing & Gold search with
+   memoization on (set of linearized operations, abstract state)).
+
+   The abstract specification is an integer set:
+     find(k)   returns (k in S),          S unchanged
+     insert(k) returns (k not in S),      S := S + {k}
+     delete(k) returns (k in S),          S := S - {k}
+
+   An operation can be linearized next iff no *other* unlinearized operation
+   returned before it was invoked.  Histories are limited to 62 entries so
+   the linearized set fits a bitmask; the stress tests record short bursts,
+   which is also what keeps the search tractable. *)
+
+module IntSet = Set.Make (Int)
+
+let apply (s : IntSet.t) (op : History.op) : bool * IntSet.t =
+  match op with
+  | Find k -> (IntSet.mem k s, s)
+  | Insert k -> if IntSet.mem k s then (false, s) else (true, IntSet.add k s)
+  | Delete k -> if IntSet.mem k s then (true, IntSet.remove k s) else (false, s)
+
+type verdict = Linearizable | Not_linearizable
+
+let check ?(init = IntSet.empty) (h : History.t) : verdict =
+  let entries = Array.of_list h in
+  let n = Array.length entries in
+  if n > 62 then invalid_arg "Checker.check: history longer than 62 entries";
+  let full = (1 lsl n) - 1 in
+  let visited : (int * IntSet.t, unit) Hashtbl.t = Hashtbl.create 256 in
+  (* e can come next given the set [done_] of already-linearized ops: no
+     other pending op has returned before e's invocation. *)
+  let minimal done_ i =
+    let e = entries.(i) in
+    let rec ok j =
+      j >= n
+      || ((j = i || done_ land (1 lsl j) <> 0 || entries.(j).ret >= e.inv)
+          && ok (j + 1))
+    in
+    ok 0
+  in
+  let rec search done_ state =
+    if done_ = full then true
+    else if Hashtbl.mem visited (done_, state) then false
+    else begin
+      Hashtbl.add visited (done_, state) ();
+      let rec try_ops i =
+        if i >= n then false
+        else if done_ land (1 lsl i) <> 0 then try_ops (i + 1)
+        else if minimal done_ i then begin
+          let e = entries.(i) in
+          let res, state' = apply state e.op in
+          if res = e.ok && search (done_ lor (1 lsl i)) state' then true
+          else try_ops (i + 1)
+        end
+        else try_ops (i + 1)
+      in
+      try_ops 0
+    end
+  in
+  if search 0 init then Linearizable else Not_linearizable

@@ -1,0 +1,1 @@
+lib/pqueue/pqueue.ml: Atomic Format Int Lf_kernel Lf_skiplist

@@ -1,0 +1,1 @@
+lib/pqueue/pqueue.mli: Lf_kernel

@@ -1,0 +1,1 @@
+lib/scenarios/scenarios.ml: Array Lf_baselines Lf_dsim Lf_kernel Lf_list Lf_skiplist Lf_workload List

@@ -1,0 +1,1 @@
+lib/scenarios/scenarios.mli: Lf_kernel

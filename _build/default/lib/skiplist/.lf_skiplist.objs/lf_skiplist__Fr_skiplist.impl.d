@@ -1,0 +1,1 @@
+lib/skiplist/fr_skiplist.ml: Array Domain Format Lf_kernel List Option

@@ -1,0 +1,1 @@
+lib/skiplist/fr_skiplist.mli: Lf_kernel

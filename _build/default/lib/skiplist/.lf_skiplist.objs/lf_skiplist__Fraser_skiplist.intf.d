@@ -1,0 +1,1 @@
+lib/skiplist/fraser_skiplist.mli: Lf_kernel

@@ -1,0 +1,1 @@
+lib/skiplist/locked_skiplist.ml: Fun Lf_kernel Mutex Seq_skiplist

@@ -1,0 +1,1 @@
+lib/skiplist/locked_skiplist.mli: Lf_kernel

@@ -1,0 +1,1 @@
+lib/skiplist/seq_skiplist.ml: Array Lf_kernel List Option

@@ -1,0 +1,1 @@
+lib/skiplist/seq_skiplist.mli: Lf_kernel

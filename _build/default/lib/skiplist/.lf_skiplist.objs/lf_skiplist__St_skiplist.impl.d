@@ -1,0 +1,1 @@
+lib/skiplist/st_skiplist.ml: Array Domain Format Lf_kernel List Option

@@ -1,0 +1,1 @@
+lib/skiplist/st_skiplist.mli: Lf_kernel

@@ -1,0 +1,100 @@
+(** Lock-free skip list of Fomitchev & Ruppert (PODC 2004, Section 4).
+
+    Each key is a {e tower} of nodes, one per level; every level is a sorted
+    singly-linked list maintained with the Section 3 algorithms (mark and
+    flag bits, backlinks), so recovery from interference is local at every
+    level.  Non-root nodes carry immutable [down] and [tower_root] pointers;
+    a tower whose root is marked is {e superfluous}, and searches physically
+    delete any superfluous node they encounter (full three-step deletion at
+    that level), which is what prevents repeated traversals of dead regions
+    (EXP-9 measures the ablation).
+
+    Insertion builds the tower bottom-up and is linearized when the root is
+    linked; a deletion arriving mid-build stops the build and removes the
+    just-added node.  Deletion deletes the root first (linearization: its
+    marking) and leaves the remaining levels to a cleanup search.
+
+    Deviations from the paper (recorded in DESIGN.md): the head tower is
+    preallocated up to [max_level] instead of growing through [up]
+    pointers, and one tail sentinel is shared by all levels; both are
+    unobservable through this interface. *)
+
+module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
+  type key = K.t
+  type 'a t
+
+  val name : string
+
+  val create : unit -> 'a t
+  (** [create_with ~max_level:24 ~help_superfluous:true ()]. *)
+
+  val create_with :
+    ?max_level:int -> ?help_superfluous:bool -> unit -> 'a t
+  (** [~help_superfluous:false] is the EXP-9 ablation: searches traverse
+      superfluous towers instead of deleting them, and deletions skip the
+      upper-level cleanup.  Only safe when keys are never reinserted (a
+      stale same-key upper node would block a new tower forever). *)
+
+  (** {1 Dictionary operations (SEARCH_SL / INSERT_SL / DELETE_SL)} *)
+
+  val find : 'a t -> key -> 'a option
+  val mem : 'a t -> key -> bool
+
+  val insert : 'a t -> key -> 'a -> bool
+  (** Tower height drawn by fair coin flips (geometric, capped at
+      [max_level]); [false] on duplicate. *)
+
+  val insert_with_height : 'a t -> height:int -> key -> 'a -> bool
+  (** Deterministic-height insertion for tests and experiments; the height
+      is clamped to [\[1, max_level\]]. *)
+
+  val delete : 'a t -> key -> bool
+
+  val delete_min : 'a t -> (key * 'a) option
+  (** Claim the leftmost regular root with the three-step deletion
+      (Lotan-Shavit style priority-queue removal).  Quiescently consistent:
+      a racing smaller insert may be missed; each element is claimed by
+      exactly one caller. *)
+
+  (** {1 Order-aware operations} *)
+
+  val find_ge : 'a t -> key -> (key * 'a) option
+  (** Successor query in expected O(log n). *)
+
+  val min_binding : 'a t -> (key * 'a) option
+
+  val max_binding : 'a t -> (key * 'a) option
+  (** Largest regular binding, by walking right before descending:
+      expected O(log n). *)
+
+  val fold_range : 'a t -> lo:key -> hi:key -> ('b -> key -> 'a -> 'b) -> 'b -> 'b
+  (** In-order fold over [lo <= key <= hi]; weakly consistent under
+      concurrency. *)
+
+  (** {1 Snapshots (exact at quiescence)} *)
+
+  val fold : 'a t -> ('b -> key -> 'a -> 'b) -> 'b -> 'b
+  val to_list : 'a t -> (key * 'a) list
+  val length : 'a t -> int
+
+  val level_counts : 'a t -> int array
+  (** [level_counts t].(l-1) is the number of non-sentinel nodes linked on
+      level [l] (marked ones included). *)
+
+  val height_histogram : 'a t -> int array
+  (** [height_histogram t].(h) is the number of towers of height [h],
+      obtained by differencing {!level_counts} (EXP-7). *)
+
+  val keys_at_level : 'a t -> int -> key list
+  (** Keys physically linked on one level, in order, regardless of marks. *)
+
+  val check_invariants : 'a t -> unit
+  (** Quiescent validation of every level (sortedness, no marked/flagged
+      nodes, down-pointer key consistency, no surviving superfluous nodes
+      in helping mode).  Raises [Failure] on violation. *)
+end
+
+module Atomic_int : module type of Make (Lf_kernel.Ordered.Int) (Lf_kernel.Atomic_mem)
+
+module Atomic_string :
+  module type of Make (Lf_kernel.Ordered.String) (Lf_kernel.Atomic_mem)

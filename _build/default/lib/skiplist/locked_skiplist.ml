@@ -1,0 +1,27 @@
+(* Lock-based skip list baseline: Pugh's sequential skip list behind a
+   global mutex.  This is the "lock-based implementation" yardstick of the
+   experimental comparisons the paper cites ([11], [13]). *)
+
+module Make (K : Lf_kernel.Ordered.S) = struct
+  module S = Seq_skiplist.Make (K)
+
+  type key = K.t
+  type 'a t = { lock : Mutex.t; sl : 'a S.t }
+
+  let name = "locked-skiplist"
+  let create () = { lock = Mutex.create (); sl = S.create () }
+
+  let locked t f =
+    Mutex.lock t.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+  let find t k = locked t (fun () -> S.find t.sl k)
+  let mem t k = locked t (fun () -> S.mem t.sl k)
+  let insert t k e = locked t (fun () -> S.insert t.sl k e)
+  let delete t k = locked t (fun () -> S.delete t.sl k)
+  let to_list t = locked t (fun () -> S.to_list t.sl)
+  let length t = locked t (fun () -> S.length t.sl)
+  let check_invariants t = locked t (fun () -> S.check_invariants t.sl)
+end
+
+module Int = Make (Lf_kernel.Ordered.Int)

@@ -1,0 +1,9 @@
+(** Lock-based skip list baseline: Pugh's sequential skip list behind one
+    global mutex — the lock-based yardstick of the comparisons in the
+    experimental literature the paper cites ([11], [13]). *)
+
+module Make (K : Lf_kernel.Ordered.S) : sig
+  include Lf_kernel.Dict_intf.S with type key = K.t
+end
+
+module Int : Lf_kernel.Dict_intf.S with type key = int

@@ -1,0 +1,158 @@
+(* Pugh's sequential skip list (CACM 1990): the oracle the concurrent skip
+   list is tested against, and the sequential baseline of EXP-6 (expected
+   O(log n) search cost).
+
+   Classic array-of-forward-pointers representation.  [steps] counters are
+   exposed so EXP-6 can compare search costs against the lock-free version
+   without instrumenting through [Mem]. *)
+
+module Make (K : Lf_kernel.Ordered.S) = struct
+  type key = K.t
+
+  type 'a node = { nkey : K.t; nelt : 'a; forward : 'a node option array }
+
+  type 'a t = {
+    max_level : int;
+    mutable level : int; (* highest level currently in use, >= 1 *)
+    header : 'a node option array; (* forward pointers of the -inf header *)
+    rng : Lf_kernel.Splitmix.t;
+    mutable size : int;
+    mutable steps : int; (* node visits, for EXP-6 *)
+  }
+
+  let name = "pugh-seq-skiplist"
+
+  let create_with ?(max_level = 32) ?(seed = 0x5eed) () =
+    {
+      max_level;
+      level = 1;
+      header = Array.make max_level None;
+      rng = Lf_kernel.Splitmix.create seed;
+      size = 0;
+      steps = 0;
+    }
+
+  let create () = create_with ()
+
+  let random_level t =
+    let rec go l =
+      if l < t.max_level && Lf_kernel.Splitmix.bool t.rng then go (l + 1)
+      else l
+    in
+    go 1
+
+  (* Walk down from the top level; [update.(l)] collects the rightmost node
+     at level l+1 whose key is < k (or None for the header). *)
+  let locate t k update =
+    let node_at = function None -> t.header | Some n -> n.forward in
+    let rec walk x l =
+      if l < 0 then x
+      else begin
+        let rec right x =
+          match (node_at x).(l) with
+          | Some n when K.compare n.nkey k < 0 ->
+              t.steps <- t.steps + 1;
+              right (Some n)
+          | _ -> x
+        in
+        let x = right x in
+        (match update with Some u -> u.(l) <- x | None -> ());
+        walk x (l - 1)
+      end
+    in
+    let x = walk None (t.level - 1) in
+    (node_at x).(0)
+
+  let find t k =
+    match locate t k None with
+    | Some n when K.compare n.nkey k = 0 -> Some n.nelt
+    | _ -> None
+
+  let mem t k = Option.is_some (find t k)
+
+  let insert t k e =
+    let update = Array.make t.max_level None in
+    match locate t k (Some update) with
+    | Some n when K.compare n.nkey k = 0 -> false
+    | _ ->
+        let lvl = random_level t in
+        if lvl > t.level then begin
+          (* New top levels descend from the header. *)
+          t.level <- lvl
+        end;
+        let node = { nkey = k; nelt = e; forward = Array.make lvl None } in
+        for l = 0 to lvl - 1 do
+          let preds = match update.(l) with None -> t.header | Some p -> p.forward in
+          node.forward.(l) <- preds.(l);
+          preds.(l) <- Some node
+        done;
+        t.size <- t.size + 1;
+        true
+
+  let delete t k =
+    let update = Array.make t.max_level None in
+    match locate t k (Some update) with
+    | Some n when K.compare n.nkey k = 0 ->
+        for l = 0 to Array.length n.forward - 1 do
+          let preds = match update.(l) with None -> t.header | Some p -> p.forward in
+          (match preds.(l) with
+          | Some m when m == n -> preds.(l) <- n.forward.(l)
+          | _ -> ())
+        done;
+        while
+          t.level > 1 && t.header.(t.level - 1) = None
+        do
+          t.level <- t.level - 1
+        done;
+        t.size <- t.size - 1;
+        true
+    | _ -> false
+
+  let to_list t =
+    let rec go acc = function
+      | None -> List.rev acc
+      | Some n -> go ((n.nkey, n.nelt) :: acc) n.forward.(0)
+    in
+    go [] t.header.(0)
+
+  let length t = t.size
+
+  let reset_steps t = t.steps <- 0
+  let steps t = t.steps
+
+  (* Histogram of tower heights: histogram.(h) = #nodes of height h. *)
+  let height_histogram t =
+    let h = Array.make (t.max_level + 1) 0 in
+    let rec go = function
+      | None -> ()
+      | Some n ->
+          let lvl = Array.length n.forward in
+          h.(lvl) <- h.(lvl) + 1;
+          go n.forward.(0)
+    in
+    go t.header.(0);
+    h
+
+  let check_invariants t =
+    (* Sorted at every level, and every level-l chain is a subsequence of
+       level 0. *)
+    for l = 0 to t.level - 1 do
+      let rec go prev = function
+        | None -> ()
+        | Some n ->
+            (match prev with
+            | Some p when K.compare p.nkey n.nkey >= 0 ->
+                failwith "pugh: keys unsorted"
+            | _ -> ());
+            go (Some n) n.forward.(l)
+      in
+      go None t.header.(l)
+    done;
+    let rec count acc = function
+      | None -> acc
+      | Some n -> count (acc + 1) n.forward.(0)
+    in
+    if count 0 t.header.(0) <> t.size then failwith "pugh: size mismatch"
+end
+
+module Int = Make (Lf_kernel.Ordered.Int)

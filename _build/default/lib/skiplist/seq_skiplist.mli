@@ -1,0 +1,32 @@
+(** Pugh's sequential skip list (CACM 1990): the oracle the concurrent skip
+    list is tested against, and the sequential baseline of EXP-6.  Classic
+    array-of-forward-pointers representation with a visited-node counter
+    exposed for cost measurements. *)
+
+module Make (K : Lf_kernel.Ordered.S) : sig
+  type key = K.t
+  type 'a t
+
+  val name : string
+  val create : unit -> 'a t
+  val create_with : ?max_level:int -> ?seed:int -> unit -> 'a t
+
+  val find : 'a t -> key -> 'a option
+  val mem : 'a t -> key -> bool
+  val insert : 'a t -> key -> 'a -> bool
+  val delete : 'a t -> key -> bool
+  val to_list : 'a t -> (key * 'a) list
+  val length : 'a t -> int
+
+  val reset_steps : 'a t -> unit
+
+  val steps : 'a t -> int
+  (** Horizontal node visits since the last {!reset_steps} (EXP-6). *)
+
+  val height_histogram : 'a t -> int array
+  (** [.(h)] = number of towers of height [h] (EXP-7). *)
+
+  val check_invariants : 'a t -> unit
+end
+
+module Int : module type of Make (Lf_kernel.Ordered.Int)

@@ -1,0 +1,1 @@
+lib/workload/opgen.ml: Format Keygen Lf_kernel

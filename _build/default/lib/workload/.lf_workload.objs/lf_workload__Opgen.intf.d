@@ -1,0 +1,1 @@
+lib/workload/opgen.mli: Format Keygen Lf_kernel

@@ -1,0 +1,1 @@
+lib/workload/runner.ml: Atomic Domain Keygen Lf_kernel Lf_lin List Opgen Option Unix

@@ -1,0 +1,1 @@
+lib/workload/runner.mli: Lf_kernel Lf_lin Opgen

@@ -1,0 +1,1 @@
+lib/workload/sim_driver.ml: Array Keygen Lf_dsim Lf_kernel Lf_lin List Opgen

@@ -1,0 +1,1 @@
+lib/workload/sim_driver.mli: Lf_dsim Lf_lin Opgen

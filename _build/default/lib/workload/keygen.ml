@@ -1,0 +1,67 @@
+(* Key generators for workloads: the distributions the experimental papers
+   the paper cites sweep over (uniform over a key range, skewed/hotspot, and
+   ascending sequences for end-of-list contention). *)
+
+type t =
+  | Uniform of int (* range [0, n) *)
+  | Hotspot of { range : int; hot : int; hot_pct : int }
+      (* hot_pct% of draws land uniformly in [0, hot), rest in [0, range) *)
+  | Zipf of { range : int; theta : float }
+  | Ascending of int ref (* each draw returns the next integer *)
+
+let uniform range = Uniform range
+let hotspot ~range ~hot ~hot_pct = Hotspot { range; hot; hot_pct }
+let ascending () = Ascending (ref 0)
+
+(* Zipf via the standard CDF-inversion approximation (Gray et al.); theta in
+   (0, 1), higher = more skewed. *)
+type zipf_state = { zetan : float; alpha : float; eta : float; range : int }
+
+let zipf_table : (int * int, zipf_state) Hashtbl.t = Hashtbl.create 8
+
+let zipf_state ~range ~theta =
+  let key = (range, int_of_float (theta *. 1000.)) in
+  match Hashtbl.find_opt zipf_table key with
+  | Some s -> s
+  | None ->
+      let zetan = ref 0.0 in
+      for i = 1 to range do
+        zetan := !zetan +. (1.0 /. Float.pow (float_of_int i) theta)
+      done;
+      let zeta2 = (1.0 /. 1.0) +. (1.0 /. Float.pow 2.0 theta) in
+      let alpha = 1.0 /. (1.0 -. theta) in
+      let eta =
+        (1.0 -. Float.pow (2.0 /. float_of_int range) (1.0 -. theta))
+        /. (1.0 -. (zeta2 /. !zetan))
+      in
+      let s = { zetan = !zetan; alpha; eta; range } in
+      Hashtbl.replace zipf_table key s;
+      s
+
+let zipf ~range ~theta =
+  ignore (zipf_state ~range ~theta);
+  Zipf { range; theta }
+
+let draw t rng =
+  match t with
+  | Uniform n -> Lf_kernel.Splitmix.int rng n
+  | Hotspot { range; hot; hot_pct } ->
+      if Lf_kernel.Splitmix.int rng 100 < hot_pct then
+        Lf_kernel.Splitmix.int rng hot
+      else Lf_kernel.Splitmix.int rng range
+  | Zipf { range; theta } ->
+      let s = zipf_state ~range ~theta in
+      let u = Lf_kernel.Splitmix.float rng in
+      let uz = u *. s.zetan in
+      if uz < 1.0 then 0
+      else if uz < 1.0 +. Float.pow 0.5 theta then 1
+      else
+        let v =
+          float_of_int s.range
+          *. Float.pow ((s.eta *. u) -. s.eta +. 1.0) s.alpha
+        in
+        min (s.range - 1) (int_of_float v)
+  | Ascending r ->
+      let v = !r in
+      incr r;
+      v

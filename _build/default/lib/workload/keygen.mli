@@ -1,0 +1,20 @@
+(** Key generators: the distributions workload sweeps draw from. *)
+
+type t
+
+val uniform : int -> t
+(** Uniform over [\[0, range)]. *)
+
+val hotspot : range:int -> hot:int -> hot_pct:int -> t
+(** [hot_pct]% of draws land uniformly in [\[0, hot)], the rest in
+    [\[0, range)]. *)
+
+val zipf : range:int -> theta:float -> t
+(** Zipf-like skew via the standard CDF-inversion approximation; [theta] in
+    (0, 1), higher = more skewed.  The normalization table is precomputed on
+    first use per (range, theta). *)
+
+val ascending : unit -> t
+(** 0, 1, 2, ... (end-of-list contention workloads). *)
+
+val draw : t -> Lf_kernel.Splitmix.t -> int

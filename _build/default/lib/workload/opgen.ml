@@ -1,0 +1,22 @@
+(* Operation mixes: percentage of inserts and deletes, the rest searches.
+   The classic mixes from the lock-free list literature are provided as
+   constants. *)
+
+type op = Insert of int | Delete of int | Find of int
+
+type mix = { insert_pct : int; delete_pct : int }
+
+let write_heavy = { insert_pct = 50; delete_pct = 50 }
+let mixed = { insert_pct = 20; delete_pct = 20 }
+let read_mostly = { insert_pct = 5; delete_pct = 5 }
+
+let pp_mix fmt m =
+  Format.fprintf fmt "%di/%dd/%ds" m.insert_pct m.delete_pct
+    (100 - m.insert_pct - m.delete_pct)
+
+let draw mix keygen rng =
+  let k = Keygen.draw keygen rng in
+  let d = Lf_kernel.Splitmix.int rng 100 in
+  if d < mix.insert_pct then Insert k
+  else if d < mix.insert_pct + mix.delete_pct then Delete k
+  else Find k

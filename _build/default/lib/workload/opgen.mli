@@ -1,0 +1,18 @@
+(** Operation mixes: insert / delete percentages, the rest searches. *)
+
+type op = Insert of int | Delete of int | Find of int
+
+type mix = { insert_pct : int; delete_pct : int }
+
+val write_heavy : mix
+(** 50% insert / 50% delete. *)
+
+val mixed : mix
+(** 20% insert / 20% delete / 60% search. *)
+
+val read_mostly : mix
+(** 5% / 5% / 90%. *)
+
+val pp_mix : Format.formatter -> mix -> unit
+
+val draw : mix -> Keygen.t -> Lf_kernel.Splitmix.t -> op

@@ -1,0 +1,104 @@
+(* Multi-domain workload driver over any implementation of the DICT
+   signature: throughput runs (EXP-4/EXP-5) and short recorded bursts whose
+   histories feed the linearizability checker (EXP-10).
+
+   The machine this repository is developed on has a single core, so
+   multi-domain throughput numbers measure synchronization overhead and
+   preemption robustness rather than parallel speedup; the scaling-shape
+   claims live in the simulator experiments instead (see DESIGN.md). *)
+
+module type INT_DICT = Lf_kernel.Dict_intf.S with type key = int
+
+type throughput = {
+  impl : string;
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_s : float;
+}
+
+let now () = Unix.gettimeofday ()
+
+(* Spin-barrier so all domains start the measured section together. *)
+let barrier n =
+  let c = Atomic.make 0 in
+  fun () ->
+    Atomic.incr c;
+    while Atomic.get c < n do
+      Domain.cpu_relax ()
+    done
+
+(* Insert keys until the structure holds [fill]% of the key range. *)
+let prefill ~key_range ~fill ~seed (insert : int -> bool) =
+  let rng = Lf_kernel.Splitmix.create seed in
+  let target = key_range * fill / 100 in
+  let rec go inserted =
+    if inserted < target then
+      let k = Lf_kernel.Splitmix.int rng key_range in
+      go (if insert k then inserted + 1 else inserted)
+  in
+  go 0
+
+let run_throughput (module D : INT_DICT) ~domains ~ops_per_domain ~key_range
+    ~(mix : Opgen.mix) ~seed () : throughput =
+  let t = D.create () in
+  prefill ~key_range ~fill:50 ~seed:((seed * 7) + 1) (fun k -> D.insert t k k);
+  let enter = barrier domains in
+  let work did =
+    let rng = Lf_kernel.Splitmix.create (seed + (1000 * did)) in
+    let keygen = Keygen.uniform key_range in
+    enter ();
+    for _ = 1 to ops_per_domain do
+      match Opgen.draw mix keygen rng with
+      | Insert k -> ignore (D.insert t k k)
+      | Delete k -> ignore (D.delete t k)
+      | Find k -> ignore (D.find t k)
+    done
+  in
+  let t0 = now () in
+  let ds = List.init (domains - 1) (fun i -> Domain.spawn (fun () -> work (i + 1))) in
+  work 0;
+  List.iter Domain.join ds;
+  let elapsed = now () -. t0 in
+  D.check_invariants t;
+  let total = domains * ops_per_domain in
+  {
+    impl = D.name;
+    domains;
+    total_ops = total;
+    elapsed_s = elapsed;
+    ops_per_s = float_of_int total /. elapsed;
+  }
+
+(* Short recorded burst: each domain performs [ops_per_domain] operations on
+   a small key range while timestamping them; the merged history goes to the
+   linearizability checker.  Keep domains * ops_per_domain <= 62. *)
+let run_recorded (module D : INT_DICT) ~domains ~ops_per_domain ~key_range
+    ~(mix : Opgen.mix) ~seed () : Lf_lin.History.t =
+  let t = D.create () in
+  let rec_ = Lf_lin.History.Recorder.create () in
+  let enter = barrier domains in
+  let work did =
+    let rng = Lf_kernel.Splitmix.create (seed + (1000 * did)) in
+    let keygen = Keygen.uniform key_range in
+    let acc = ref [] in
+    enter ();
+    for _ = 1 to ops_per_domain do
+      let op = Opgen.draw mix keygen rng in
+      let inv = Lf_lin.History.Recorder.tick rec_ in
+      let hop, ok =
+        match op with
+        | Insert k -> (Lf_lin.History.Insert k, D.insert t k k)
+        | Delete k -> (Lf_lin.History.Delete k, D.delete t k)
+        | Find k -> (Lf_lin.History.Find k, Option.is_some (D.find t k))
+      in
+      let ret = Lf_lin.History.Recorder.tick rec_ in
+      acc := { Lf_lin.History.pid = did; op = hop; ok; inv; ret } :: !acc
+    done;
+    Lf_lin.History.Recorder.add rec_ !acc
+  in
+  let ds = List.init (domains - 1) (fun i -> Domain.spawn (fun () -> work (i + 1))) in
+  work 0;
+  List.iter Domain.join ds;
+  D.check_invariants t;
+  Lf_lin.History.Recorder.history rec_

@@ -1,0 +1,45 @@
+(** Multi-domain workload driver over any {!Lf_kernel.Dict_intf.S}
+    implementation: throughput runs (EXP-4/5/11) and short recorded bursts
+    whose histories feed the linearizability checker (EXP-10).
+
+    Single-core caveat: on this development machine domains time-share one
+    CPU, so throughput numbers measure synchronization overhead and
+    robustness to preemption rather than parallel speedup (DESIGN.md). *)
+
+module type INT_DICT = Lf_kernel.Dict_intf.S with type key = int
+
+type throughput = {
+  impl : string;
+  domains : int;
+  total_ops : int;
+  elapsed_s : float;
+  ops_per_s : float;
+}
+
+val prefill : key_range:int -> fill:int -> seed:int -> (int -> bool) -> unit
+(** Insert random keys through the supplied closure until the structure
+    holds [fill]% of [key_range] distinct keys. *)
+
+val run_throughput :
+  (module INT_DICT) ->
+  domains:int ->
+  ops_per_domain:int ->
+  key_range:int ->
+  mix:Opgen.mix ->
+  seed:int ->
+  unit ->
+  throughput
+(** Prefill to 50%, barrier-start [domains] domains, run the mix, join,
+    validate invariants, report ops/s. *)
+
+val run_recorded :
+  (module INT_DICT) ->
+  domains:int ->
+  ops_per_domain:int ->
+  key_range:int ->
+  mix:Opgen.mix ->
+  seed:int ->
+  unit ->
+  Lf_lin.History.t
+(** Short recorded burst for the linearizability checker.  Keep
+    [domains * ops_per_domain <= 62]. *)

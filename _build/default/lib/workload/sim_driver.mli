@@ -1,0 +1,44 @@
+(** Workload drivers for structures living in the simulator's memory.
+
+    The structure under test is passed as closures already specialized to a
+    [Sim_mem]-instantiated dictionary; each simulated process runs a seeded
+    random operation mix bracketed by [Sim.op_begin]/[op_end], the harness
+    maintaining the current size so every operation record carries its
+    n(S).  Feeds EXP-1 and the randomized correctness tests. *)
+
+type ops = {
+  insert : int -> bool;
+  delete : int -> bool;
+  find : int -> bool;
+}
+
+val run_mixed :
+  ?policy:Lf_dsim.Sim.policy ->
+  ?initial_size:int ->
+  procs:int ->
+  ops_per_proc:int ->
+  key_range:int ->
+  mix:Opgen.mix ->
+  seed:int ->
+  ops ->
+  Lf_dsim.Sim.result
+(** Run [procs] processes, each performing [ops_per_proc] operations.
+    [initial_size] is the number of keys already present (from
+    {!prefill}). *)
+
+val prefill : key_range:int -> count:int -> seed:int -> ops -> int
+(** Insert [count] distinct keys via a single simulated process; returns
+    the number inserted (= [count]). *)
+
+val run_recorded :
+  ?policy:Lf_dsim.Sim.policy ->
+  procs:int ->
+  ops_per_proc:int ->
+  key_range:int ->
+  mix:Opgen.mix ->
+  seed:int ->
+  ops ->
+  Lf_lin.History.t
+(** As {!run_mixed}, additionally recording every operation with
+    scheduler-order invocation/return ticks for the linearizability
+    checker. *)

@@ -1,0 +1,1 @@
+test/support.ml: Alcotest Hashtbl Lf_kernel Lf_lin List Printf QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Array Atomic Domain Lf_baselines Lf_dsim Lf_kernel Lf_workload List Printf Support

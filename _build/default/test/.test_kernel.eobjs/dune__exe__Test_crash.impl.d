@@ -1,0 +1,1 @@
+test/test_crash.ml: Alcotest Array Lf_baselines Lf_dsim Lf_kernel Lf_list Lf_skiplist List

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Lf_dsim Lf_kernel Lf_scenarios Lf_skiplist List

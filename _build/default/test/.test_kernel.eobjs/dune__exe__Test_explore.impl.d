@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Array Lf_baselines Lf_dsim Lf_kernel Lf_lin Lf_list Lf_skiplist List Printf QCheck2 Result String Support

@@ -1,0 +1,1 @@
+test/test_fr_list.ml: Alcotest Array Atomic Domain Lf_dsim Lf_kernel Lf_list Lf_workload List Option QCheck2 Support

@@ -1,0 +1,1 @@
+test/test_hashtable.ml: Alcotest Atomic Domain Lf_dsim Lf_hashtable Lf_kernel Lf_workload List Support

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Domain Lf_kernel Lf_list Lf_workload QCheck2 Support

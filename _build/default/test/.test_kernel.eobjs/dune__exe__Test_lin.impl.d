@@ -1,0 +1,1 @@
+test/test_lin.ml: Alcotest Checker Fmt Hashtbl History Lf_lin List Support

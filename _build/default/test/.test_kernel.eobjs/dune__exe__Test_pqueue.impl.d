@@ -1,0 +1,1 @@
+test/test_pqueue.ml: Alcotest Array Atomic Domain Lf_baselines Lf_dsim Lf_kernel Lf_pqueue Lf_skiplist List Printf String

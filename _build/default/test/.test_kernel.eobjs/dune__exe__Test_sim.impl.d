@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest Array Lf_dsim Lf_kernel List Printf String

@@ -1,0 +1,1 @@
+test/test_skiplist.ml: Alcotest Array Atomic Domain Lf_dsim Lf_kernel Lf_lin Lf_skiplist Lf_workload List Option Printf QCheck2 String Support

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Lf_dsim Lf_kernel Lf_lin Lf_list Lf_workload List Support

@@ -1,0 +1,314 @@
+(* Lock-freedom under crash failures (the paper's introduction: "delays or
+   failures of individual processes do not block the progress of other
+   processes in the system").
+
+   The simulator makes this testable systematically: park a victim process
+   forever at step k of its operation - for EVERY k - and require that the
+   surviving processes complete their own operations, that the final
+   structure is valid, and that the combined history (with the victim's
+   pending operation removed or completed-by-helping) stays consistent.
+
+   A parked process models a crashed one exactly: it stops taking steps but
+   any flag/mark it has already installed stays behind, which is precisely
+   the state helping must recover from. *)
+
+module Sim = Lf_dsim.Sim
+module FRS = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+module SLS = Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+module HarrisS = Lf_baselines.Harris_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+
+(* Run [victim] and [survivor] under a policy that parks the victim forever
+   after it has taken [k] steps; the survivor must finish.  Returns whether
+   the victim had already finished by then, plus the survivor steps. *)
+let run_with_crash ~k ~victim ~survivor ~validate =
+  let policy st =
+    let victim_steps =
+      let c = Sim.counters st 0 in
+      c.Lf_kernel.Counters.reads + c.Lf_kernel.Counters.writes
+      + Lf_kernel.Counters.total_cas_attempts c
+    in
+    if (not (Sim.is_finished st 0)) && victim_steps < k then Some 0
+    else if not (Sim.is_finished st 1) then Some 1
+    else None
+  in
+  let res =
+    Sim.run ~policy:(Sim.Custom policy) ~max_steps:2_000_000
+      [| victim; survivor |]
+  in
+  validate ();
+  ignore res
+
+(* How many steps does the victim's op take when run alone?  Used to bound
+   the crash-point sweep. *)
+let steps_alone body =
+  let res = Sim.run [| body |] in
+  res.steps
+
+let test_fr_list_deleter_crashes_everywhere () =
+  (* Victim deletes 20 from [10;20;30]; survivor then inserts 15 and 25 and
+     searches.  Whatever step the victim dies at, the survivor must
+     complete, and key 20 must be either present (deletion never reached
+     its linearization point) or absent - with the structure always
+     traversable and sorted. *)
+  let build () =
+    let t = FRS.create () in
+    ignore
+      (Sim.run
+         [| (fun _ -> List.iter (fun k -> ignore (FRS.insert t k 0)) [ 10; 20; 30 ]) |]);
+    t
+  in
+  let total = steps_alone (fun _ -> ignore (FRS.delete (build ()) 20)) in
+  Alcotest.(check bool) "victim op takes steps" true (total > 5);
+  for k = 0 to total do
+    let t = build () in
+    let victim _ = ignore (FRS.delete t 20) in
+    let survivor _ =
+      ignore (FRS.insert t 15 1);
+      ignore (FRS.insert t 25 1);
+      ignore (FRS.mem t 30)
+    in
+    run_with_crash ~k ~victim ~survivor ~validate:(fun () ->
+        Sim.quiet (fun () ->
+            (* Survivor completed: its keys are present; list stays sorted
+               and traversable.  INV 3/4 still hold on whatever is left. *)
+            let l = FRS.to_list t in
+            if not (List.mem_assoc 15 l && List.mem_assoc 25 l) then
+              Alcotest.failf "crash at %d: survivor lost inserts" k;
+            if not (List.mem_assoc 10 l && List.mem_assoc 30 l) then
+              Alcotest.failf "crash at %d: bystander keys lost" k;
+            match FRS.Debug.check_now t with
+            | Ok () -> ()
+            | Error m -> Alcotest.failf "crash at %d: %s" k m))
+  done
+
+let test_fr_list_inserter_crashes_everywhere () =
+  let build () =
+    let t = FRS.create () in
+    ignore
+      (Sim.run
+         [| (fun _ -> List.iter (fun kk -> ignore (FRS.insert t kk 0)) [ 10; 30 ]) |]);
+    t
+  in
+  let total = steps_alone (fun _ -> ignore (FRS.insert (build ()) 20 9)) in
+  for k = 0 to total do
+    let t = build () in
+    let victim _ = ignore (FRS.insert t 20 9) in
+    let survivor _ =
+      ignore (FRS.delete t 10);
+      ignore (FRS.insert t 5 1);
+      ignore (FRS.mem t 20)
+    in
+    run_with_crash ~k ~victim ~survivor ~validate:(fun () ->
+        Sim.quiet (fun () ->
+            let l = FRS.to_list t in
+            if not (List.mem_assoc 5 l) then
+              Alcotest.failf "crash at %d: survivor insert lost" k;
+            if List.mem_assoc 10 l then
+              Alcotest.failf "crash at %d: survivor delete lost" k;
+            match FRS.Debug.check_now t with
+            | Ok () -> ()
+            | Error m -> Alcotest.failf "crash at %d: %s" k m))
+  done
+
+(* The critical case: the victim dies holding a FLAG.  Survivors must help
+   the deletion through and unflag - the flag can never become a lock. *)
+let test_crashed_flag_holder_cannot_block () =
+  let t = FRS.create () in
+  ignore
+    (Sim.run
+       [| (fun _ -> List.iter (fun k -> ignore (FRS.insert t k 0)) [ 10; 20 ]) |]);
+  let victim _ = ignore (FRS.delete t 20) in
+  let survivor _ =
+    (* Touches the flagged region directly. *)
+    ignore (FRS.insert t 15 1);
+    ignore (FRS.delete t 10)
+  in
+  let parked = ref false in
+  let policy st =
+    if not !parked then begin
+      let c = Sim.counters st 0 in
+      if
+        c.Lf_kernel.Counters.cas_successes.(Lf_kernel.Counters.kind_index
+                                              Lf_kernel.Mem_event.Flagging)
+        >= 1
+      then begin
+        parked := true;
+        Some 1
+      end
+      else if Sim.is_finished st 0 then None
+      else Some 0
+    end
+    else if not (Sim.is_finished st 1) then Some 1
+    else None
+  in
+  ignore (Sim.run ~policy:(Sim.Custom policy) [| victim; survivor |]);
+  Sim.quiet (fun () ->
+      Alcotest.(check (list (pair int int))) "survivor did everything"
+        [ (15, 1) ] (FRS.to_list t);
+      FRS.check_invariants t)
+
+let test_skiplist_deleter_crashes_everywhere () =
+  let build () =
+    let t = SLS.create_with ~max_level:4 () in
+    ignore
+      (Sim.run
+         [|
+           (fun _ ->
+             ignore (SLS.insert_with_height t ~height:3 10 0);
+             ignore (SLS.insert_with_height t ~height:4 20 0);
+             ignore (SLS.insert_with_height t ~height:2 30 0));
+         |]);
+    t
+  in
+  let total = steps_alone (fun _ -> ignore (SLS.delete (build ()) 20)) in
+  (* Sweep a sample of crash points (every step is slow for tall towers). *)
+  let k = ref 0 in
+  while !k <= total do
+    let t = build () in
+    let victim _ = ignore (SLS.delete t 20) in
+    let survivor _ =
+      ignore (SLS.insert_with_height t ~height:3 15 1);
+      ignore (SLS.insert_with_height t ~height:2 25 1);
+      ignore (SLS.mem t 30)
+    in
+    run_with_crash ~k:!k ~victim ~survivor ~validate:(fun () ->
+        Sim.quiet (fun () ->
+            let l = SLS.to_list t in
+            if not (List.mem_assoc 15 l && List.mem_assoc 25 l) then
+              Alcotest.failf "crash at %d: survivor inserts lost" !k;
+            if not (List.mem_assoc 10 l && List.mem_assoc 30 l) then
+              Alcotest.failf "crash at %d: bystanders lost" !k));
+    k := !k + 1
+  done
+
+let test_harris_crashes_everywhere () =
+  (* Harris is also lock-free; the suite doubles as a baseline sanity
+     check. *)
+  let build () =
+    let t = HarrisS.create () in
+    ignore
+      (Sim.run
+         [| (fun _ -> List.iter (fun k -> ignore (HarrisS.insert t k 0)) [ 10; 20; 30 ]) |]);
+    t
+  in
+  let total = steps_alone (fun _ -> ignore (HarrisS.delete (build ()) 20)) in
+  for k = 0 to total do
+    let t = build () in
+    let victim _ = ignore (HarrisS.delete t 20) in
+    let survivor _ =
+      ignore (HarrisS.insert t 15 1);
+      ignore (HarrisS.insert t 25 1)
+    in
+    run_with_crash ~k ~victim ~survivor ~validate:(fun () ->
+        Sim.quiet (fun () ->
+            let l = HarrisS.to_list t in
+            if not (List.mem_assoc 15 l && List.mem_assoc 25 l) then
+              Alcotest.failf "crash at %d: survivor inserts lost" k))
+  done
+
+module FraserS =
+  Lf_skiplist.Fraser_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+
+let test_fraser_deleter_crashes_everywhere () =
+  let build () =
+    let t = FraserS.create_with ~max_level:4 () in
+    Sim.quiet (fun () ->
+        ignore (FraserS.insert_with_height t ~height:3 10 0);
+        ignore (FraserS.insert_with_height t ~height:4 20 0);
+        ignore (FraserS.insert_with_height t ~height:2 30 0));
+    t
+  in
+  let total = steps_alone (fun _ -> ignore (FraserS.delete (build ()) 20)) in
+  for k = 0 to total do
+    let t = build () in
+    let victim _ = ignore (FraserS.delete t 20) in
+    let survivor _ =
+      ignore (FraserS.insert_with_height t ~height:2 15 1);
+      ignore (FraserS.insert_with_height t ~height:3 25 1);
+      ignore (FraserS.mem t 30)
+    in
+    run_with_crash ~k ~victim ~survivor ~validate:(fun () ->
+        Sim.quiet (fun () ->
+            let l = FraserS.to_list t in
+            if not (List.mem_assoc 15 l && List.mem_assoc 25 l) then
+              Alcotest.failf "crash at %d: survivor inserts lost" k;
+            if not (List.mem_assoc 10 l && List.mem_assoc 30 l) then
+              Alcotest.failf "crash at %d: bystanders lost" k))
+  done
+
+(* Random crash storms: several victims die at random points mid-operation
+   while survivors keep going; conservation holds among completed ops. *)
+let test_random_crash_storm () =
+  List.iter
+    (fun seed ->
+      let t = FRS.create () in
+      let net = ref 0 in
+      let completed = ref 0 in
+      let victim pid =
+        let rng = Lf_kernel.Splitmix.create (seed + pid) in
+        for _ = 1 to 20 do
+          let k = Lf_kernel.Splitmix.int rng 16 in
+          if Lf_kernel.Splitmix.bool rng then begin
+            if FRS.insert t k pid then incr net
+          end
+          else if FRS.delete t k then decr net;
+          incr completed
+        done
+      in
+      let rng = Lf_kernel.Splitmix.create (seed * 31) in
+      let kill_at = Array.init 2 (fun _ -> 30 + Lf_kernel.Splitmix.int rng 200) in
+      let policy st =
+        (* pids 0,1 are victims killed after kill_at.(pid) steps; 2,3 run
+           to completion. *)
+        let steps pid =
+          let c = Sim.counters st pid in
+          c.Lf_kernel.Counters.reads + c.Lf_kernel.Counters.writes
+          + Lf_kernel.Counters.total_cas_attempts c
+        in
+        let alive pid =
+          (not (Sim.is_finished st pid)) && (pid >= 2 || steps pid < kill_at.(pid))
+        in
+        let choices = List.filter alive [ 0; 1; 2; 3 ] in
+        match choices with
+        | [] -> None
+        | l -> Some (List.nth l (Lf_kernel.Splitmix.int rng (List.length l)))
+      in
+      (* The two survivors update [net]/[completed] only for their own ops;
+         victims' partial ops may or may not have taken effect, so we only
+         check structural health, not conservation. *)
+      ignore (Sim.run ~policy:(Sim.Custom policy) (Array.make 4 victim));
+      ignore !net;
+      ignore !completed;
+      Sim.quiet (fun () ->
+          match FRS.Debug.check_now t with
+          | Ok () -> ()
+          | Error m -> Alcotest.failf "storm seed %d: %s" seed m))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let () =
+  Alcotest.run "crash"
+    [
+      ( "fr-list",
+        [
+          Alcotest.test_case "deleter dies at every step" `Quick
+            test_fr_list_deleter_crashes_everywhere;
+          Alcotest.test_case "inserter dies at every step" `Quick
+            test_fr_list_inserter_crashes_everywhere;
+          Alcotest.test_case "crashed flag holder" `Quick
+            test_crashed_flag_holder_cannot_block;
+        ] );
+      ( "fr-skiplist",
+        [
+          Alcotest.test_case "deleter dies at every step" `Quick
+            test_skiplist_deleter_crashes_everywhere;
+        ] );
+      ( "baselines",
+        [
+          Alcotest.test_case "harris deleter dies at every step" `Quick
+            test_harris_crashes_everywhere;
+          Alcotest.test_case "fraser deleter dies at every step" `Quick
+            test_fraser_deleter_crashes_everywhere;
+        ] );
+      ( "storm",
+        [ Alcotest.test_case "random crash storms" `Quick test_random_crash_storm ] );
+    ]

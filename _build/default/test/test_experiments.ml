@@ -1,0 +1,103 @@
+(* Regression locks for the headline experiment shapes: miniature versions
+   of EXP-1/2/3/9/13 run as assertions, so a change that silently destroys
+   one of the paper's reproduced separations fails the test suite, not just
+   a human reading bench output. *)
+
+module Sim = Lf_dsim.Sim
+
+let test_exp1_ratio_bounded () =
+  (* Amortized bound: essential steps <= K * sum(n+c) with K well under 1
+     for this counting. *)
+  List.iter
+    (fun (q, n0) ->
+      let e, b, _ = Lf_scenarios.Scenarios.exp1_run ~q ~n0 ~seed:7 in
+      let ratio = float_of_int e /. float_of_int (max 1 b) in
+      if ratio > 1.0 then
+        Alcotest.failf "EXP-1 ratio %.2f > 1 at q=%d n0=%d" ratio q n0)
+    [ (2, 10); (4, 100); (8, 400) ]
+
+let test_exp2_separation () =
+  (* Harris recovery grows with n; FR stays constant. *)
+  let fr_small, ha_small = Lf_scenarios.Scenarios.exp2_recovery ~n:32 in
+  let fr_big, ha_big = Lf_scenarios.Scenarios.exp2_recovery ~n:256 in
+  Alcotest.(check bool) "fr flat" true (fr_big <= fr_small *. 1.5);
+  Alcotest.(check bool) "harris grows ~8x" true (ha_big >= ha_small *. 4.0);
+  Alcotest.(check bool) "separation at n=256" true (ha_big >= fr_big *. 10.0)
+
+let test_exp3_valois_linear () =
+  let v_small, fr_small = Lf_scenarios.Scenarios.exp3_avg ~m:50 in
+  let v_big, fr_big = Lf_scenarios.Scenarios.exp3_avg ~m:200 in
+  Alcotest.(check bool) "valois grows ~4x" true (v_big >= v_small *. 2.5);
+  Alcotest.(check bool) "fr flat" true (fr_big <= fr_small *. 1.5)
+
+let test_exp9_helping_flat () =
+  let nh_small, h_small = Lf_scenarios.Scenarios.exp9_avg ~m:25 in
+  let nh_big, h_big = Lf_scenarios.Scenarios.exp9_avg ~m:100 in
+  Alcotest.(check bool) "no-help grows" true (nh_big >= nh_small *. 2.0);
+  Alcotest.(check bool) "help flat" true (h_big <= h_small *. 1.3)
+
+let test_exp13_fraser_restarts () =
+  let fr, fz = Lf_scenarios.Scenarios.exp13_recovery ~n:256 in
+  Alcotest.(check bool) "fr local" true (fr <= 4.0);
+  Alcotest.(check bool) "fraser restarts" true (fz >= fr *. 2.0)
+
+(* Section 4's "contrived scenario": a search may descend into a node whose
+   tower is deleted mid-descent, and must still produce correct results by
+   traversing through the marked region. *)
+module SLS = Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+
+let test_descend_through_deleted_tower () =
+  let t = SLS.create_with ~max_level:4 () in
+  Sim.quiet (fun () ->
+      ignore (SLS.insert_with_height t ~height:3 10 0);
+      ignore (SLS.insert_with_height t ~height:1 20 0);
+      ignore (SLS.insert_with_height t ~height:1 30 0));
+  (* The searcher for 30 descends via tower 10 (the only tall one).  Park
+     it mid-descent after a few steps, delete tower 10 entirely, resume:
+     the searcher sits in a fully deleted tower and must still find 30. *)
+  for park = 1 to 12 do
+    let t' = SLS.create_with ~max_level:4 () in
+    Sim.quiet (fun () ->
+        ignore (SLS.insert_with_height t' ~height:3 10 0);
+        ignore (SLS.insert_with_height t' ~height:1 20 0);
+        ignore (SLS.insert_with_height t' ~height:1 30 0));
+    let found = ref false in
+    let searcher _ = found := SLS.mem t' 30 in
+    let deleter _ = ignore (SLS.delete t' 10) in
+    let parked = ref false in
+    let policy st =
+      if (not !parked) && Sim.total_steps st < park && not (Sim.is_finished st 0)
+      then Some 0
+      else begin
+        parked := true;
+        if not (Sim.is_finished st 1) then Some 1
+        else if not (Sim.is_finished st 0) then Some 0
+        else None
+      end
+    in
+    ignore (Sim.run ~policy:(Sim.Custom policy) [| searcher; deleter |]);
+    if not !found then Alcotest.failf "search missed key 30 (park=%d)" park;
+    Sim.quiet (fun () ->
+        Alcotest.(check (list (pair int int)))
+          "final" [ (20, 0); (30, 0) ] (SLS.to_list t'))
+  done;
+  ignore t
+
+let () =
+  Alcotest.run "experiments"
+    [
+      ( "shape locks",
+        [
+          Alcotest.test_case "exp1 ratio bounded" `Slow test_exp1_ratio_bounded;
+          Alcotest.test_case "exp2 harris vs fr" `Slow test_exp2_separation;
+          Alcotest.test_case "exp3 valois linear" `Slow test_exp3_valois_linear;
+          Alcotest.test_case "exp9 helping flat" `Slow test_exp9_helping_flat;
+          Alcotest.test_case "exp13 fraser restarts" `Slow
+            test_exp13_fraser_restarts;
+        ] );
+      ( "section 4 scenarios",
+        [
+          Alcotest.test_case "descend through deleted tower" `Quick
+            test_descend_through_deleted_tower;
+        ] );
+    ]

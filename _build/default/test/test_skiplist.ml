@@ -1,0 +1,687 @@
+(* Tests for the skip lists: Pugh's sequential oracle, the lock-free
+   Fomitchev-Ruppert skip list (tower structure, interrupted insertions,
+   superfluous-node helping, delete_min), the locked baseline, and the
+   height distribution of Section 4's last paragraph. *)
+
+module SL = Lf_skiplist.Fr_skiplist.Atomic_int
+module SLS = Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+module Pugh = Lf_skiplist.Seq_skiplist.Int
+module Sim = Lf_dsim.Sim
+module Ev = Lf_kernel.Mem_event
+
+module _ : Support.INT_DICT = Lf_skiplist.Fr_skiplist.Atomic_int
+module _ : Support.INT_DICT = Lf_skiplist.Seq_skiplist.Int
+module _ : Support.INT_DICT = Lf_skiplist.Locked_skiplist.Int
+module _ : Support.INT_DICT = Lf_skiplist.Fraser_skiplist.Atomic_int
+
+module _ : Support.INT_DICT = Lf_skiplist.St_skiplist.Atomic_int
+
+module FraserS =
+  Lf_skiplist.Fraser_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+
+module StS = Lf_skiplist.St_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+
+let oracle_tests =
+  [
+    Support.oracle_test (module Lf_skiplist.Fr_skiplist.Atomic_int);
+    Support.oracle_test (module Lf_skiplist.Seq_skiplist.Int);
+    Support.oracle_test (module Lf_skiplist.Locked_skiplist.Int);
+    Support.oracle_test (module Lf_skiplist.Fraser_skiplist.Atomic_int);
+    Support.oracle_test (module Lf_skiplist.St_skiplist.Atomic_int);
+  ]
+
+(* --- Range and successor operations --- *)
+
+let test_range_ops () =
+  let t = SL.create () in
+  Alcotest.(check (option (pair int int))) "empty min" None (SL.min_binding t);
+  Alcotest.(check (option (pair int int))) "empty max" None (SL.max_binding t);
+  Alcotest.(check (option (pair int int))) "empty ge" None (SL.find_ge t 3);
+  List.iter (fun k -> ignore (SL.insert t k (k * 10))) [ 50; 10; 30; 20; 40 ];
+  Alcotest.(check (option (pair int int))) "min" (Some (10, 100))
+    (SL.min_binding t);
+  Alcotest.(check (option (pair int int))) "max" (Some (50, 500))
+    (SL.max_binding t);
+  Alcotest.(check (option (pair int int))) "ge exact" (Some (30, 300))
+    (SL.find_ge t 30);
+  Alcotest.(check (option (pair int int))) "ge between" (Some (40, 400))
+    (SL.find_ge t 31);
+  Alcotest.(check (option (pair int int))) "ge above" None (SL.find_ge t 51);
+  let range lo hi =
+    List.rev (SL.fold_range t ~lo ~hi (fun acc k _ -> k :: acc) [])
+  in
+  Alcotest.(check (list int)) "range" [ 20; 30; 40 ] (range 15 45);
+  Alcotest.(check (list int)) "inverted" [] (range 45 15);
+  (* After deleting the max, max_binding moves left. *)
+  ignore (SL.delete t 50);
+  Alcotest.(check (option (pair int int))) "new max" (Some (40, 400))
+    (SL.max_binding t)
+
+let range_prop =
+  Support.qcheck "skiplist range ops agree with a sorted-list oracle"
+    QCheck2.Gen.(
+      triple
+        (list_size (int_bound 60) (int_bound 50))
+        (int_bound 50) (int_bound 50))
+    (fun (keys, lo, hi) ->
+      let t = SL.create_with ~max_level:8 () in
+      List.iter (fun k -> ignore (SL.insert t k k)) keys;
+      let sorted = List.sort_uniq compare keys in
+      let expect_ge = List.find_opt (fun k -> k >= lo) sorted in
+      let got_ge = Option.map fst (SL.find_ge t lo) in
+      let expect_range = List.filter (fun k -> k >= lo && k <= hi) sorted in
+      let got_range =
+        List.rev (SL.fold_range t ~lo ~hi (fun acc k _ -> k :: acc) [])
+      in
+      let expect_max =
+        match List.rev sorted with [] -> None | k :: _ -> Some k
+      in
+      got_ge = expect_ge && got_range = expect_range
+      && Option.map fst (SL.max_binding t) = expect_max)
+
+(* --- Tower structure --- *)
+
+let test_insert_with_height_builds_tower () =
+  let t = SL.create_with ~max_level:8 () in
+  Alcotest.(check bool) "insert" true (SL.insert_with_height t ~height:5 42 0);
+  let counts = SL.level_counts t in
+  Alcotest.(check (array int))
+    "one node on each of levels 1-5"
+    [| 1; 1; 1; 1; 1; 0; 0; 0 |]
+    counts;
+  let h = SL.height_histogram t in
+  Alcotest.(check int) "one tower of height 5" 1 h.(5);
+  SL.check_invariants t
+
+let test_delete_removes_whole_tower () =
+  let t = SL.create_with ~max_level:8 () in
+  ignore (SL.insert_with_height t ~height:6 1 0);
+  ignore (SL.insert_with_height t ~height:3 2 0);
+  Alcotest.(check bool) "delete" true (SL.delete t 1);
+  Alcotest.(check (array int))
+    "only key 2's tower remains"
+    [| 1; 1; 1; 0; 0; 0; 0; 0 |]
+    (SL.level_counts t);
+  Alcotest.(check bool) "delete 2" true (SL.delete t 2);
+  Alcotest.(check (array int))
+    "empty" [| 0; 0; 0; 0; 0; 0; 0; 0 |] (SL.level_counts t);
+  SL.check_invariants t
+
+let test_height_clamped () =
+  let t = SL.create_with ~max_level:4 () in
+  Alcotest.(check bool) "oversized height accepted" true
+    (SL.insert_with_height t ~height:99 7 0);
+  Alcotest.(check int) "clamped to max" 1 (SL.height_histogram t).(4);
+  SL.check_invariants t
+
+(* --- Height distribution (EXP-7's property, small scale) --- *)
+
+let test_height_distribution_geometric () =
+  let t = SL.create_with ~max_level:20 () in
+  for i = 1 to 20_000 do
+    ignore (SL.insert t i i)
+  done;
+  let p, tv = Lf_kernel.Stats.geometric_fit (SL.height_histogram t) in
+  Alcotest.(check bool)
+    (Printf.sprintf "p=%.3f near 1/2" p)
+    true
+    (abs_float (p -. 0.5) < 0.03);
+  Alcotest.(check bool) (Printf.sprintf "tv=%.3f small" tv) true (tv < 0.05)
+
+let test_pugh_height_distribution () =
+  let t = Pugh.create_with ~max_level:20 ~seed:77 () in
+  for i = 1 to 20_000 do
+    ignore (Pugh.insert t i i)
+  done;
+  let p, tv = Lf_kernel.Stats.geometric_fit (Pugh.height_histogram t) in
+  Alcotest.(check bool) "p near 1/2" true (abs_float (p -. 0.5) < 0.03);
+  Alcotest.(check bool) "tv small" true (tv < 0.05)
+
+(* --- Interrupted insertion (Section 4): a deletion arriving while the
+   tower is being built must stop the build and leave no residue. --- *)
+
+let test_interrupted_insertion () =
+  let t = SLS.create_with ~max_level:8 () in
+  let inserter _ = ignore (SLS.insert_with_height t ~height:6 50 1) in
+  let deleter _ = ignore (SLS.delete t 50) in
+  let parked = ref false in
+  let policy st =
+    if not !parked then begin
+      let c = Sim.counters st 0 in
+      (* Park the inserter once the root and the level-2 node are in. *)
+      if
+        c.Lf_kernel.Counters.cas_successes.(Lf_kernel.Counters.kind_index
+                                              Ev.Insertion) >= 2
+      then begin
+        parked := true;
+        Some 1
+      end
+      else if Sim.is_finished st 0 then None
+      else Some 0
+    end
+    else if not (Sim.is_finished st 1) then Some 1
+    else if not (Sim.is_finished st 0) then Some 0
+    else None
+  in
+  ignore (Sim.run ~policy:(Sim.Custom policy) [| inserter; deleter |]);
+  Sim.quiet (fun () ->
+      Alcotest.(check bool) "key gone" false (SLS.mem t 50);
+      Alcotest.(check (array int))
+        "no residue on any level"
+        (Array.make 8 0)
+        (SLS.level_counts t);
+      SLS.check_invariants t)
+
+(* --- Superfluous-node cleanup: searches remove towers whose root is
+   marked. --- *)
+
+let test_search_cleans_superfluous () =
+  let t = SLS.create_with ~max_level:8 () in
+  ignore
+    (Sim.run
+       [|
+         (fun _ ->
+           ignore (SLS.insert_with_height t ~height:6 10 0);
+           ignore (SLS.insert_with_height t ~height:6 20 0);
+           ignore (SLS.insert_with_height t ~height:6 30 0));
+       |]);
+  (* Delete 20 but stop the deleter right after the root is marked: the
+     upper tower nodes remain, forming a superfluous tower. *)
+  let deleter _ = ignore (SLS.delete t 20) in
+  let policy st =
+    let c = Sim.counters st 0 in
+    if
+      c.Lf_kernel.Counters.cas_successes.(Lf_kernel.Counters.kind_index
+                                            Ev.Marking) >= 1
+    then None (* abandon the deleter *)
+    else if Sim.is_finished st 0 then None
+    else Some 0
+  in
+  ignore (Sim.run ~policy:(Sim.Custom policy) [| deleter |]);
+  let counts = Sim.quiet (fun () -> SLS.level_counts t) in
+  Alcotest.(check bool) "superfluous residue exists" true (counts.(5) >= 2);
+  (* A search whose per-level path crosses the superfluous tower (any key in
+     (20, 30)) removes the leftover nodes at every level.  A search for 30
+     itself would descend through tower 30 and only clean the top level -
+     searches delete only the superfluous nodes they encounter. *)
+  ignore (Sim.run [| (fun _ -> ignore (SLS.mem t 25)) |]);
+  Sim.quiet (fun () ->
+      Alcotest.(check (array int))
+        "towers of 10 and 30 remain"
+        [| 2; 2; 2; 2; 2; 2; 0; 0 |]
+        (SLS.level_counts t);
+      SLS.check_invariants t)
+
+(* --- Simulator stress: invariants + conservation + linearizability --- *)
+
+let test_sim_conservation () =
+  List.iter
+    (fun seed ->
+      let t = SLS.create_with ~max_level:8 () in
+      let net = ref 0 in
+      let body pid =
+        let rng = Lf_kernel.Splitmix.create (seed + (977 * pid)) in
+        for _ = 1 to 100 do
+          let k = Lf_kernel.Splitmix.int rng 20 in
+          match Lf_kernel.Splitmix.int rng 3 with
+          | 0 ->
+              if
+                SLS.insert_with_height t
+                  ~height:(1 + Lf_kernel.Splitmix.int rng 5)
+                  k k
+              then incr net
+          | 1 -> if SLS.delete t k then decr net
+          | _ -> ignore (SLS.mem t k)
+        done
+      in
+      ignore (Sim.run ~policy:(Sim.Random seed) (Array.make 3 body));
+      Sim.quiet (fun () ->
+          SLS.check_invariants t;
+          Alcotest.(check int)
+            (Printf.sprintf "conservation seed %d" seed)
+            !net (SLS.length t)))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_sim_linearizable () =
+  List.iter
+    (fun seed ->
+      let t = SLS.create_with ~max_level:6 () in
+      let ops =
+        Lf_workload.Sim_driver.
+          {
+            insert = (fun k -> SLS.insert t k k);
+            delete = (fun k -> SLS.delete t k);
+            find = (fun k -> SLS.mem t k);
+          }
+      in
+      let h =
+        Lf_workload.Sim_driver.run_recorded ~policy:(Sim.Random seed) ~procs:3
+          ~ops_per_proc:15 ~key_range:6
+          ~mix:{ insert_pct = 40; delete_pct = 40 }
+          ~seed ops
+      in
+      Support.assert_linearizable h)
+    [ 61; 62; 63; 64 ]
+
+(* --- Fraser-style baseline --- *)
+
+let test_fraser_sim_conservation () =
+  List.iter
+    (fun seed ->
+      let t = FraserS.create_with ~max_level:6 () in
+      let net = ref 0 in
+      let body pid =
+        let rng = Lf_kernel.Splitmix.create (seed + (977 * pid)) in
+        for _ = 1 to 100 do
+          let k = Lf_kernel.Splitmix.int rng 20 in
+          match Lf_kernel.Splitmix.int rng 3 with
+          | 0 ->
+              if
+                FraserS.insert_with_height t
+                  ~height:(1 + Lf_kernel.Splitmix.int rng 4)
+                  k k
+              then incr net
+          | 1 -> if FraserS.delete t k then decr net
+          | _ -> ignore (FraserS.mem t k)
+        done
+      in
+      ignore (Sim.run ~policy:(Sim.Random seed) (Array.make 3 body));
+      Sim.quiet (fun () ->
+          FraserS.check_invariants t;
+          Alcotest.(check int)
+            (Printf.sprintf "fraser conservation seed %d" seed)
+            !net (FraserS.length t)))
+    [ 1; 2; 3; 4; 5; 6 ]
+
+let test_fraser_sim_linearizable () =
+  List.iter
+    (fun seed ->
+      let t = FraserS.create_with ~max_level:5 () in
+      let ops =
+        Lf_workload.Sim_driver.
+          {
+            insert = (fun k -> FraserS.insert t k k);
+            delete = (fun k -> FraserS.delete t k);
+            find = (fun k -> FraserS.mem t k);
+          }
+      in
+      let h =
+        Lf_workload.Sim_driver.run_recorded ~policy:(Sim.Random seed) ~procs:3
+          ~ops_per_proc:15 ~key_range:6
+          ~mix:{ insert_pct = 40; delete_pct = 40 }
+          ~seed ops
+      in
+      Support.assert_linearizable h)
+    [ 91; 92; 93; 94; 95; 96 ]
+
+let test_fraser_exhaustive_schedules () =
+  let mk () =
+    let t = FraserS.create_with ~max_level:3 () in
+    Sim.quiet (fun () ->
+        ignore (FraserS.insert_with_height t ~height:2 1 1);
+        ignore (FraserS.insert_with_height t ~height:1 3 3));
+    let clock = ref 0 in
+    let entries = ref [] in
+    let record pid op f =
+      let inv = !clock in
+      incr clock;
+      let ok = f () in
+      let ret = !clock in
+      incr clock;
+      entries := { Lf_lin.History.pid; op; ok; inv; ret } :: !entries
+    in
+    let scripts =
+      [|
+        (fun pid ->
+          record pid (Lf_lin.History.Insert 2) (fun () ->
+              FraserS.insert_with_height t ~height:2 2 2);
+          record pid (Lf_lin.History.Delete 2) (fun () -> FraserS.delete t 2));
+        (fun pid ->
+          record pid (Lf_lin.History.Delete 1) (fun () -> FraserS.delete t 1);
+          record pid (Lf_lin.History.Insert 2) (fun () ->
+              FraserS.insert_with_height t ~height:3 2 2));
+      |]
+    in
+    let check () =
+      match Sim.quiet (fun () -> FraserS.check_invariants t) with
+      | exception Failure m -> Error m
+      | () -> (
+          let h =
+            List.sort
+              (fun a b -> compare a.Lf_lin.History.inv b.Lf_lin.History.inv)
+              !entries
+          in
+          let init = Lf_lin.Checker.IntSet.of_list [ 1; 3 ] in
+          match Lf_lin.Checker.check ~init h with
+          | Lf_lin.Checker.Linearizable -> Ok ()
+          | Lf_lin.Checker.Not_linearizable -> Error "not linearizable")
+    in
+    (scripts, check)
+  in
+  let res = Lf_dsim.Explore.run ~max_preemptions:2 ~max_schedules:40_000 mk in
+  match res.failures with
+  | [] -> ()
+  | (prefix, msg) :: _ ->
+      Alcotest.failf "fraser: %s under [%s]" msg
+        (String.concat ";" (List.map string_of_int prefix))
+
+(* --- Sundell-Tsigas-style baseline --- *)
+
+let test_st_sim_conservation () =
+  List.iter
+    (fun seed ->
+      let t = StS.create_with ~max_level:6 () in
+      let net = ref 0 in
+      let body pid =
+        let rng = Lf_kernel.Splitmix.create (seed + (977 * pid)) in
+        for _ = 1 to 100 do
+          let k = Lf_kernel.Splitmix.int rng 20 in
+          match Lf_kernel.Splitmix.int rng 3 with
+          | 0 ->
+              if
+                StS.insert_with_height t
+                  ~height:(1 + Lf_kernel.Splitmix.int rng 4)
+                  k k
+              then incr net
+          | 1 -> if StS.delete t k then decr net
+          | _ -> ignore (StS.mem t k)
+        done
+      in
+      ignore (Sim.run ~policy:(Sim.Random seed) (Array.make 3 body));
+      Sim.quiet (fun () ->
+          StS.check_invariants t;
+          Alcotest.(check int)
+            (Printf.sprintf "st conservation seed %d" seed)
+            !net (StS.length t)))
+    [ 1; 2; 3; 4; 5; 6; 7; 8 ]
+
+let test_st_sim_linearizable () =
+  List.iter
+    (fun seed ->
+      let t = StS.create_with ~max_level:5 () in
+      let ops =
+        Lf_workload.Sim_driver.
+          {
+            insert = (fun k -> StS.insert t k k);
+            delete = (fun k -> StS.delete t k);
+            find = (fun k -> StS.mem t k);
+          }
+      in
+      let h =
+        Lf_workload.Sim_driver.run_recorded ~policy:(Sim.Random seed) ~procs:3
+          ~ops_per_proc:15 ~key_range:6
+          ~mix:{ insert_pct = 40; delete_pct = 40 }
+          ~seed ops
+      in
+      Support.assert_linearizable h)
+    [ 71; 72; 73; 74; 75; 76 ]
+
+let test_st_exhaustive_schedules () =
+  let mk () =
+    let t = StS.create_with ~max_level:3 () in
+    Sim.quiet (fun () ->
+        ignore (StS.insert_with_height t ~height:2 1 1);
+        ignore (StS.insert_with_height t ~height:1 3 3));
+    let clock = ref 0 in
+    let entries = ref [] in
+    let record pid op f =
+      let inv = !clock in
+      incr clock;
+      let ok = f () in
+      let ret = !clock in
+      incr clock;
+      entries := { Lf_lin.History.pid; op; ok; inv; ret } :: !entries
+    in
+    let scripts =
+      [|
+        (fun pid ->
+          record pid (Lf_lin.History.Insert 2) (fun () ->
+              StS.insert_with_height t ~height:2 2 2);
+          record pid (Lf_lin.History.Delete 2) (fun () -> StS.delete t 2));
+        (fun pid ->
+          record pid (Lf_lin.History.Delete 1) (fun () -> StS.delete t 1);
+          record pid (Lf_lin.History.Insert 2) (fun () ->
+              StS.insert_with_height t ~height:3 2 2));
+      |]
+    in
+    let check () =
+      match Sim.quiet (fun () -> StS.check_invariants t) with
+      | exception Failure m -> Error m
+      | () -> (
+          let h =
+            List.sort
+              (fun a b -> compare a.Lf_lin.History.inv b.Lf_lin.History.inv)
+              !entries
+          in
+          let init = Lf_lin.Checker.IntSet.of_list [ 1; 3 ] in
+          match Lf_lin.Checker.check ~init h with
+          | Lf_lin.Checker.Linearizable -> Ok ()
+          | Lf_lin.Checker.Not_linearizable -> Error "not linearizable")
+    in
+    (scripts, check)
+  in
+  let res = Lf_dsim.Explore.run ~max_preemptions:2 ~max_schedules:40_000 mk in
+  match res.failures with
+  | [] -> ()
+  | (prefix, msg) :: _ ->
+      Alcotest.failf "st: %s under [%s]" msg
+        (String.concat ";" (List.map string_of_int prefix))
+
+(* The ST backlink actually fires: park a traverser on a node, delete that
+   node with a tall predecessor, resume - recovery must use the backlink
+   (Backlink_step counted), not restart. *)
+let test_st_backlink_recovery_fires () =
+  let t = StS.create_with ~max_level:4 () in
+  Sim.quiet (fun () ->
+      ignore (StS.insert_with_height t ~height:4 10 0);
+      (* tall pred *)
+      ignore (StS.insert_with_height t ~height:4 20 0);
+      (* victim *)
+      ignore (StS.insert_with_height t ~height:1 30 0));
+  let searcher _ = ignore (StS.mem t 30) in
+  let deleter _ = ignore (StS.delete t 20) in
+  (* Park the searcher once its walk reaches node 20 (2 curr-updates at the
+     top level... simpler: after a fixed number of steps mid-walk), run the
+     deleter fully, then resume. *)
+  let parked = ref false in
+  let policy st =
+    let searcher_steps =
+      let c = Sim.counters st 0 in
+      c.Lf_kernel.Counters.reads + Lf_kernel.Counters.total_cas_attempts c
+    in
+    if (not !parked) && searcher_steps < 3 && not (Sim.is_finished st 0) then
+      Some 0
+    else begin
+      parked := true;
+      if not (Sim.is_finished st 1) then Some 1
+      else if not (Sim.is_finished st 0) then Some 0
+      else None
+    end
+  in
+  let res = Sim.run ~policy:(Sim.Custom policy) [| searcher; deleter |] in
+  ignore res;
+  Sim.quiet (fun () ->
+      Alcotest.(check bool) "30 still found" true (StS.mem t 30);
+      StS.check_invariants t)
+
+(* --- delete_min --- *)
+
+let test_delete_min_sequential () =
+  let t = SL.create () in
+  List.iter (fun k -> ignore (SL.insert t k (k * 2))) [ 5; 1; 9; 3; 7 ];
+  let order = ref [] in
+  let rec drain () =
+    match SL.delete_min t with
+    | None -> ()
+    | Some (k, v) ->
+        Alcotest.(check int) "value" (k * 2) v;
+        order := k :: !order;
+        drain ()
+  in
+  drain ();
+  Alcotest.(check (list int)) "ascending order" [ 1; 3; 5; 7; 9 ]
+    (List.rev !order);
+  Alcotest.(check bool) "empty" true (SL.delete_min t = None);
+  SL.check_invariants t
+
+let test_delete_min_unique_claims_sim () =
+  let t = SLS.create_with ~max_level:6 () in
+  ignore
+    (Sim.run
+       [| (fun _ -> for i = 1 to 30 do ignore (SLS.insert_with_height t ~height:((i mod 4) + 1) i i) done) |]);
+  let claimed = Array.make 2 [] in
+  let body pid =
+    let rec go () =
+      match SLS.delete_min t with
+      | None -> ()
+      | Some (k, _) ->
+          claimed.(pid) <- k :: claimed.(pid);
+          go ()
+    in
+    go ()
+  in
+  List.iter
+    (fun seed ->
+      claimed.(0) <- [];
+      claimed.(1) <- [];
+      let t' = SLS.create_with ~max_level:6 () in
+      ignore
+        (Sim.run
+           [| (fun _ -> for i = 1 to 30 do ignore (SLS.insert_with_height t' ~height:((i mod 4) + 1) i i) done) |]);
+      let body' pid =
+        let rec go () =
+          match SLS.delete_min t' with
+          | None -> ()
+          | Some (k, _) ->
+              claimed.(pid) <- k :: claimed.(pid);
+              go ()
+        in
+        go ()
+      in
+      ignore (Sim.run ~policy:(Sim.Random seed) [| body'; body' |]);
+      let all = List.sort compare (claimed.(0) @ claimed.(1)) in
+      Alcotest.(check (list int))
+        (Printf.sprintf "each key claimed exactly once (seed %d)" seed)
+        (List.init 30 (fun i -> i + 1))
+        all)
+    [ 71; 72; 73 ];
+  ignore body;
+  ignore t
+
+(* --- Ablation: no superfluous helping (distinct keys only) --- *)
+
+let test_ablation_no_helping_correct () =
+  let t = SLS.create_with ~max_level:6 ~help_superfluous:false () in
+  let next_key = ref 0 in
+  let net = ref 0 in
+  let live = ref [] in
+  let body pid =
+    let rng = Lf_kernel.Splitmix.create (500 + pid) in
+    for _ = 1 to 80 do
+      if Lf_kernel.Splitmix.bool rng || !live = [] then begin
+        let k = !next_key in
+        incr next_key;
+        if SLS.insert_with_height t ~height:(1 + Lf_kernel.Splitmix.int rng 4) k k
+        then begin
+          incr net;
+          live := k :: !live
+        end
+      end
+      else
+        match !live with
+        | k :: rest ->
+            live := rest;
+            if SLS.delete t k then decr net
+        | [] -> ()
+    done
+  in
+  ignore (Sim.run ~policy:(Sim.Random 9) [| body; body |]);
+  Sim.quiet (fun () ->
+      Alcotest.(check int) "conservation" !net (SLS.length t))
+
+(* --- Multi-domain stress --- *)
+
+let test_domain_stress () =
+  let module D = Lf_skiplist.Fr_skiplist.Atomic_int in
+  let t = D.create () in
+  let net = Atomic.make 0 in
+  let work did =
+    let rng = Lf_kernel.Splitmix.create (did * 77) in
+    let local = ref 0 in
+    for _ = 1 to 10_000 do
+      let k = Lf_kernel.Splitmix.int rng 64 in
+      match Lf_kernel.Splitmix.int rng 3 with
+      | 0 -> if D.insert t k k then incr local
+      | 1 -> if D.delete t k then decr local
+      | _ -> ignore (D.find t k)
+    done;
+    ignore (Atomic.fetch_and_add net !local)
+  in
+  let ds = List.init 3 (fun i -> Domain.spawn (fun () -> work (i + 1))) in
+  work 0;
+  List.iter Domain.join ds;
+  D.check_invariants t;
+  Alcotest.(check int) "conservation" (Atomic.get net) (D.length t)
+
+let () =
+  Alcotest.run "skiplist"
+    [
+      ("oracle", oracle_tests);
+      ( "range ops",
+        [ Alcotest.test_case "basics" `Quick test_range_ops; range_prop ] );
+      ( "towers",
+        [
+          Alcotest.test_case "explicit height" `Quick
+            test_insert_with_height_builds_tower;
+          Alcotest.test_case "delete removes tower" `Quick
+            test_delete_removes_whole_tower;
+          Alcotest.test_case "height clamped" `Quick test_height_clamped;
+        ] );
+      ( "height distribution",
+        [
+          Alcotest.test_case "fr geometric" `Quick
+            test_height_distribution_geometric;
+          Alcotest.test_case "pugh geometric" `Quick
+            test_pugh_height_distribution;
+        ] );
+      ( "protocol",
+        [
+          Alcotest.test_case "interrupted insertion" `Quick
+            test_interrupted_insertion;
+          Alcotest.test_case "search cleans superfluous" `Quick
+            test_search_cleans_superfluous;
+        ] );
+      ( "simulator",
+        [
+          Alcotest.test_case "conservation" `Quick test_sim_conservation;
+          Alcotest.test_case "linearizable" `Quick test_sim_linearizable;
+          Alcotest.test_case "ablation correct" `Quick
+            test_ablation_no_helping_correct;
+        ] );
+      ( "fraser baseline",
+        [
+          Alcotest.test_case "sim conservation" `Quick
+            test_fraser_sim_conservation;
+          Alcotest.test_case "sim linearizable" `Quick
+            test_fraser_sim_linearizable;
+          Alcotest.test_case "exhaustive schedules" `Slow
+            test_fraser_exhaustive_schedules;
+        ] );
+      ( "st baseline",
+        [
+          Alcotest.test_case "sim conservation" `Quick test_st_sim_conservation;
+          Alcotest.test_case "sim linearizable" `Quick test_st_sim_linearizable;
+          Alcotest.test_case "exhaustive schedules" `Slow
+            test_st_exhaustive_schedules;
+          Alcotest.test_case "backlink recovery" `Quick
+            test_st_backlink_recovery_fires;
+        ] );
+      ( "delete_min",
+        [
+          Alcotest.test_case "sequential order" `Quick
+            test_delete_min_sequential;
+          Alcotest.test_case "unique claims" `Quick
+            test_delete_min_unique_claims_sim;
+        ] );
+      ("stress", [ Alcotest.test_case "domains" `Slow test_domain_stress ]);
+    ]

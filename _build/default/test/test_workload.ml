@@ -1,0 +1,95 @@
+(* Tests for the workload drivers: the throughput runner, the recorded
+   bursts, and the simulator driver that feeds EXP-1. *)
+
+module Sim = Lf_dsim.Sim
+module FRS = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+
+let test_throughput_smoke () =
+  let r =
+    Lf_workload.Runner.run_throughput
+      (module Lf_list.Fr_list.Atomic_int)
+      ~domains:2 ~ops_per_domain:5_000 ~key_range:128
+      ~mix:Lf_workload.Opgen.mixed ~seed:3 ()
+  in
+  Alcotest.(check int) "total ops" 10_000 r.total_ops;
+  Alcotest.(check bool) "positive rate" true (r.ops_per_s > 0.0);
+  Alcotest.(check string) "impl name" "fr-list" r.impl
+
+let test_recorded_shape () =
+  let h =
+    Lf_workload.Runner.run_recorded
+      (module Lf_list.Fr_list.Atomic_int)
+      ~domains:2 ~ops_per_domain:10 ~key_range:8
+      ~mix:Lf_workload.Opgen.write_heavy ~seed:5 ()
+  in
+  Alcotest.(check int) "entry count" 20 (List.length h);
+  List.iter
+    (fun (e : Lf_lin.History.entry) ->
+      if e.inv >= e.ret then Alcotest.fail "inv must precede ret")
+    h;
+  Support.assert_linearizable h
+
+let sim_ops t =
+  Lf_workload.Sim_driver.
+    {
+      insert = (fun k -> FRS.insert t k k);
+      delete = (fun k -> FRS.delete t k);
+      find = (fun k -> FRS.mem t k);
+    }
+
+let test_prefill_exact () =
+  let t = FRS.create () in
+  let n = Lf_workload.Sim_driver.prefill ~key_range:100 ~count:40 ~seed:1 (sim_ops t) in
+  Alcotest.(check int) "prefill count" 40 n;
+  Alcotest.(check int) "length" 40 (Sim.quiet (fun () -> FRS.length t))
+
+let test_run_mixed_records () =
+  let t = FRS.create () in
+  let res =
+    Lf_workload.Sim_driver.run_mixed ~policy:(Sim.Random 2) ~procs:3
+      ~ops_per_proc:50 ~key_range:16
+      ~mix:{ insert_pct = 40; delete_pct = 30 }
+      ~seed:7 (sim_ops t)
+  in
+  Alcotest.(check int) "op count" 150 (List.length res.ops);
+  List.iter
+    (fun (op : Sim.op_record) ->
+      if op.n_at_start < 0 || op.n_at_start > 16 then
+        Alcotest.failf "n(S)=%d out of range" op.n_at_start;
+      if op.c_max < 1 || op.c_max > 3 then
+        Alcotest.failf "c(S)=%d out of range" op.c_max;
+      if not op.completed then Alcotest.fail "op should have completed")
+    res.ops;
+  Alcotest.(check bool) "essential positive" true (Sim.total_essential res > 0);
+  Alcotest.(check bool) "bound positive" true (Sim.bound_sum res > 0)
+
+let test_sim_driver_deterministic () =
+  let run () =
+    let t = FRS.create () in
+    let res =
+      Lf_workload.Sim_driver.run_mixed ~policy:(Sim.Random 9) ~procs:2
+        ~ops_per_proc:40 ~key_range:8
+        ~mix:{ insert_pct = 50; delete_pct = 30 }
+        ~seed:11 (sim_ops t)
+    in
+    (res.steps, Sim.total_essential res, Sim.bound_sum res,
+     Sim.quiet (fun () -> FRS.to_list t))
+  in
+  Alcotest.(check bool) "deterministic" true (run () = run ())
+
+let () =
+  Alcotest.run "workload"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "throughput smoke" `Quick test_throughput_smoke;
+          Alcotest.test_case "recorded shape" `Quick test_recorded_shape;
+        ] );
+      ( "sim driver",
+        [
+          Alcotest.test_case "prefill" `Quick test_prefill_exact;
+          Alcotest.test_case "mixed records" `Quick test_run_mixed_records;
+          Alcotest.test_case "deterministic" `Quick
+            test_sim_driver_deterministic;
+        ] );
+    ]
