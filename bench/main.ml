@@ -23,6 +23,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("exp13", "skip-list adversary: FR vs Fraser", fun () -> ignore (Exp13.run ()));
     ("exp14", "cost model: sim vs real domains", fun () -> ignore (Exp14.run ()));
     ("exp15", "skip-list recovery classes", fun () -> Exp15.run ());
+    ("exp16", "protocol-sanitizer overhead", fun () -> ignore (Exp16.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 

@@ -27,26 +27,45 @@ let impls : (string * (module Lf_workload.Runner.INT_DICT)) list =
     ("lf-hashtable", (module Lf_hashtable.Atomic_int));
   ]
 
-let impl_conv =
-  let parse s =
-    match List.assoc_opt s impls with
-    | Some m -> Ok m
+(* The FR structures instantiated over the protocol sanitizer: every C&S and
+   store is validated against the deletion state machine (INV 1-5); a
+   violation aborts with a structured report (event, per-process traces,
+   chain snapshot). *)
+module Checked_mem = Lf_check.Check_mem.Make (Lf_kernel.Atomic_mem)
+module Checked_fr_list = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Checked_mem)
+module Checked_fr_skiplist =
+  Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Checked_mem)
+
+let checked_impls : (string * (module Lf_workload.Runner.INT_DICT)) list =
+  [
+    ("fr-list", (module Checked_fr_list));
+    ("fr-skiplist", (module Checked_fr_skiplist));
+  ]
+
+let resolve name checked : (module Lf_workload.Runner.INT_DICT) =
+  if not checked then List.assoc name impls
+  else
+    match List.assoc_opt name checked_impls with
+    | Some m -> m
     | None ->
-        Error
-          (`Msg
-            (Printf.sprintf "unknown implementation %S (try: %s)" s
-               (String.concat ", " (List.map fst impls))))
-  in
-  let print fmt (module D : Lf_workload.Runner.INT_DICT) =
-    Format.pp_print_string fmt D.name
-  in
-  Arg.conv (parse, print)
+        Printf.eprintf "--checked is available for: %s\n"
+          (String.concat ", " (List.map fst checked_impls));
+        exit 2
 
 let impl_arg =
   Arg.(
     value
-    & opt impl_conv (module Lf_skiplist.Fr_skiplist.Atomic_int : Lf_workload.Runner.INT_DICT)
+    & opt (enum (List.map (fun (n, _) -> (n, n)) impls)) "fr-skiplist"
     & info [ "i"; "impl" ] ~docv:"IMPL" ~doc:"Implementation under test.")
+
+let checked_arg =
+  Arg.(
+    value & flag
+    & info [ "checked" ]
+        ~doc:
+          "Run under the Lf_check.Check_mem protocol sanitizer (fr-list and \
+           fr-skiplist).  Slower; any protocol violation aborts with a \
+           structured report naming the broken invariant.")
 
 let domains_arg =
   Arg.(value & opt int 2 & info [ "d"; "domains" ] ~docv:"N" ~doc:"Domains.")
@@ -74,8 +93,8 @@ let seeds_arg =
     & info [ "s"; "seeds" ] ~docv:"N" ~doc:"Number of seeds / histories.")
 
 let throughput_cmd =
-  let run (module D : Lf_workload.Runner.INT_DICT) domains ops range
-      (ins, del) seed =
+  let run impl checked domains ops range (ins, del) seed =
+    let (module D : Lf_workload.Runner.INT_DICT) = resolve impl checked in
     let r =
       Lf_workload.Runner.run_throughput
         (module D)
@@ -84,17 +103,21 @@ let throughput_cmd =
         ~seed ()
     in
     Printf.printf
-      "%s: %d ops on %d domains in %.3fs -> %.0f ops/s (structure valid)\n"
-      r.impl r.total_ops r.domains r.elapsed_s r.ops_per_s
+      "%s%s: %d ops on %d domains in %.3fs -> %.0f ops/s (structure valid%s)\n"
+      r.impl
+      (if checked then " [checked]" else "")
+      r.total_ops r.domains r.elapsed_s r.ops_per_s
+      (if checked then ", no protocol violations" else "")
   in
   Cmd.v
     (Cmd.info "throughput" ~doc:"Measure workload throughput.")
     Term.(
-      const run $ impl_arg $ domains_arg $ ops_arg $ range_arg $ mix_arg
-      $ seed_arg)
+      const run $ impl_arg $ checked_arg $ domains_arg $ ops_arg $ range_arg
+      $ mix_arg $ seed_arg)
 
 let check_cmd =
-  let run (module D : Lf_workload.Runner.INT_DICT) domains seeds =
+  let run impl checked domains seeds =
+    let (module D : Lf_workload.Runner.INT_DICT) = resolve impl checked in
     let failed = ref 0 in
     for seed = 1 to seeds do
       let h =
@@ -117,12 +140,16 @@ let check_cmd =
   in
   Cmd.v
     (Cmd.info "check" ~doc:"Record histories and check linearizability.")
-    Term.(const run $ impl_arg $ domains_arg $ seeds_arg)
+    Term.(const run $ impl_arg $ checked_arg $ domains_arg $ seeds_arg)
 
 let list_cmd =
   let run () =
-    print_endline "available implementations:";
-    List.iter (fun (n, _) -> Printf.printf "  %s\n" n) impls
+    print_endline "available implementations (* = supports --checked):";
+    List.iter
+      (fun (n, _) ->
+        Printf.printf "  %s%s\n" n
+          (if List.mem_assoc n checked_impls then " *" else ""))
+      impls
   in
   Cmd.v (Cmd.info "list" ~doc:"List available implementations.") Term.(const run $ const ())
 

@@ -13,7 +13,7 @@ module Seq = struct
   (* Grow on demand, using [fill] (the element about to be pushed) for the
      fresh slots so no dummy payload is ever needed. *)
   let grow t fill =
-    if t.size = Array.length t.data then begin
+    if Int.equal t.size (Array.length t.data) then begin
       let cap = max 16 (2 * Array.length t.data) in
       let d = Array.make cap fill in
       Array.blit t.data 0 d 0 t.size;
@@ -37,7 +37,7 @@ module Seq = struct
     let smallest = ref i in
     if l < t.size && fst t.data.(l) < fst t.data.(!smallest) then smallest := l;
     if r < t.size && fst t.data.(r) < fst t.data.(!smallest) then smallest := r;
-    if !smallest <> i then begin
+    if not (Int.equal !smallest i) then begin
       swap t i !smallest;
       sift_down t !smallest
     end

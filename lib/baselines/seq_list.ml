@@ -66,7 +66,8 @@ module Make (K : Lf_kernel.Ordered.S) = struct
   let check_invariants t =
     let rec go count = function
       | None ->
-          if count <> t.size then failwith "seq-list: size counter mismatch"
+          if not (Int.equal count t.size) then
+            failwith "seq-list: size counter mismatch"
       | Some n -> (
           match n.nnext with
           | Some m when K.compare n.nkey m.nkey >= 0 ->

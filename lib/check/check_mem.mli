@@ -1,0 +1,32 @@
+(** Protocol sanitizer: wraps any {!Lf_kernel.Mem.S} and validates every
+    mutation of an annotated cell against the paper's succ-field state
+    machine and online versions of INV 1-5, raising
+    {!Violation.Protocol_violation} at the offending access.
+
+    Cells never annotated (via {!Lf_kernel.Mem.S.annotate}) pass through
+    unchecked, so algorithms that do not speak the Fomitchev-Ruppert
+    protocol (Harris, Valois, the flagless ablation) run unchanged.
+
+    Safe both inside the deterministic simulator (wrap [Lf_dsim.Sim_mem];
+    accesses under {!Lf_dsim.Sim.quiet} are treated as observation and
+    attributed to the observing domain) and under real parallelism (wrap
+    [Atomic_mem]; a global mutex serializes each checked mutation with its
+    bookkeeping, which costs throughput but keeps transition order exact -
+    the usual sanitizer bargain). *)
+
+module Make (M : Lf_kernel.Mem.S) : sig
+  include Lf_kernel.Mem.S
+
+  val reset : unit -> unit
+  (** Forget every annotation, trace and chain.  Call between independent
+      structures sharing this instantiation (e.g. consecutive test cases)
+      to keep reports and snapshots focused. *)
+
+  val set_pid_source : (unit -> int) -> unit
+  (** Override how accesses are attributed to processes.  The default asks
+      {!Lf_dsim.Sim.running_pid} and falls back to the domain id. *)
+
+  val snapshot : unit -> string list
+  (** Render every annotated chain (one string per head cell) as the
+      checker currently understands it. *)
+end

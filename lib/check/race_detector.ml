@@ -1,0 +1,151 @@
+(* FastTrack-style happens-before race detector over the simulator's
+   scheduling points.
+
+   The memory model it checks is the one the paper's algorithms assume:
+   [get] and C&S are synchronizing accesses - a successful C&S releases the
+   writer's knowledge into the cell, and every read (or C&S attempt)
+   acquires whatever the cell last released - while [set] is a *plain*
+   store with no ordering of its own ([Mem.S.set] exists exactly for
+   backlink stores, which the paper argues need none).
+
+   A race is therefore any pair involving a plain store that is not ordered
+   by happens-before:
+   - plain write, then an unordered read / C&S / plain write, or
+   - read / successful C&S, then an unordered plain write.
+
+   Finding such a pair does not condemn the algorithm - backlink stores are
+   *designed* to race benignly, every racing writer storing the same value.
+   The detector's job is to make the set of such sites exact and auditable:
+   the FR list's only racy cells must be backlinks, and any new racy cell a
+   refactor introduces shows up immediately. *)
+
+type access = Read | Write | Cas of bool (* success? *)
+
+let access_to_string = function
+  | Read -> "read"
+  | Write -> "write"
+  | Cas true -> "cas-ok"
+  | Cas false -> "cas-fail"
+
+type race = {
+  cell : int;
+  owner : string;
+  earlier : int * access; (* pid, kind *)
+  later : int * access;
+}
+
+let pp_race ppf r =
+  let pe, ea = r.earlier and pl, la = r.later in
+  Format.fprintf ppf "race on %s (cell %d): p%d %s unordered with p%d %s"
+    r.owner r.cell pe (access_to_string ea) pl (access_to_string la)
+
+type cell_info = {
+  ci_owner : string;
+  ci_sync : Vclock.t; (* L: what the cell's successful C&Ss released *)
+  mutable ci_cas : (int * access) option; (* last successful C&S, for reports *)
+  mutable ci_write : (int * int) option; (* last plain write: pid, epoch *)
+  ci_reads : (int, int) Hashtbl.t; (* pid -> epoch of its last read *)
+}
+
+type t = {
+  clocks : (int, Vclock.t) Hashtbl.t;
+  cinfo : (int, cell_info) Hashtbl.t;
+  mutable races : race list;
+  seen : (int * access * access, unit) Hashtbl.t; (* dedup per cell + kinds *)
+}
+
+let create () =
+  {
+    clocks = Hashtbl.create 16;
+    cinfo = Hashtbl.create 256;
+    races = [];
+    seen = Hashtbl.create 16;
+  }
+
+let clear t =
+  Hashtbl.reset t.clocks;
+  Hashtbl.reset t.cinfo;
+  Hashtbl.reset t.seen;
+  t.races <- []
+
+let clock t pid =
+  match Hashtbl.find_opt t.clocks pid with
+  | Some c -> c
+  | None ->
+      let c = Vclock.create () in
+      (* Start at 1 so a fresh process's epoch is not vacuously ordered
+         before everyone else's empty clock. *)
+      Vclock.tick c pid;
+      Hashtbl.add t.clocks pid c;
+      c
+
+let cell t id owner =
+  match Hashtbl.find_opt t.cinfo id with
+  | Some ci -> ci
+  | None ->
+      let ci =
+        {
+          ci_owner = owner;
+          ci_sync = Vclock.create ();
+          ci_cas = None;
+          ci_write = None;
+          ci_reads = Hashtbl.create 4;
+        }
+      in
+      Hashtbl.add t.cinfo id ci;
+      ci
+
+let report t ~cell:id ~owner ~earlier ~later =
+  let _, ea = earlier and _, la = later in
+  if not (Hashtbl.mem t.seen (id, ea, la)) then begin
+    Hashtbl.add t.seen (id, ea, la) ();
+    t.races <- { cell = id; owner; earlier; later } :: t.races
+  end
+
+(* Unordered with the cell's last plain write? *)
+let check_write_conflict t ci ~id ~pid ~c ~(later : access) =
+  match ci.ci_write with
+  | Some (q, tm) when q <> pid && not (Vclock.epoch_leq ~pid:q ~time:tm c) ->
+      report t ~cell:id ~owner:ci.ci_owner ~earlier:(q, Write)
+        ~later:(pid, later)
+  | _ -> ()
+
+let read t ~pid ~cell:id ~owner =
+  let c = clock t pid in
+  let ci = cell t id owner in
+  Vclock.join c ci.ci_sync;
+  (* acquire *)
+  check_write_conflict t ci ~id ~pid ~c ~later:Read;
+  Hashtbl.replace ci.ci_reads pid (Vclock.get c pid)
+
+let cas t ~pid ~cell:id ~owner ~ok =
+  let c = clock t pid in
+  let ci = cell t id owner in
+  Vclock.join c ci.ci_sync;
+  (* acquire: even a failed C&S observed the value *)
+  check_write_conflict t ci ~id ~pid ~c ~later:(Cas ok);
+  if ok then begin
+    (* release *)
+    Vclock.join ci.ci_sync c;
+    ci.ci_cas <- Some (pid, Cas true);
+    Vclock.tick c pid
+  end
+
+let write t ~pid ~cell:id ~owner =
+  let c = clock t pid in
+  let ci = cell t id owner in
+  (* A plain store: no acquire, no release.  It conflicts with anything on
+     this cell not ordered before it. *)
+  check_write_conflict t ci ~id ~pid ~c ~later:Write;
+  Hashtbl.iter
+    (fun q tm ->
+      if q <> pid && not (Vclock.epoch_leq ~pid:q ~time:tm c) then
+        report t ~cell:id ~owner:ci.ci_owner ~earlier:(q, Read)
+          ~later:(pid, Write))
+    ci.ci_reads;
+  (if not (Vclock.leq ci.ci_sync c) then
+     let earlier = match ci.ci_cas with Some e -> e | None -> (-1, Cas true) in
+     report t ~cell:id ~owner:ci.ci_owner ~earlier ~later:(pid, Write));
+  ci.ci_write <- Some (pid, Vclock.get c pid)
+
+let races t = List.rev t.races

@@ -1,0 +1,33 @@
+(** FastTrack-style happens-before race detector.
+
+    Checks the synchronization discipline the paper's algorithms assume:
+    [get] acquires, a successful C&S acquires and releases, and [set] is a
+    plain store with no ordering.  A race is any pair involving a plain
+    store unordered by happens-before.  Races are accumulated (deduplicated
+    per cell and access-kind pair), never raised: backlink stores race
+    benignly by design, and the point is to keep the set of racy cells
+    exact and auditable. *)
+
+type access = Read | Write | Cas of bool  (** [Cas ok] *)
+
+val access_to_string : access -> string
+
+type race = {
+  cell : int;
+  owner : string;
+  earlier : int * access;  (** pid, kind *)
+  later : int * access;
+}
+
+val pp_race : Format.formatter -> race -> unit
+
+type t
+
+val create : unit -> t
+val clear : t -> unit
+val read : t -> pid:int -> cell:int -> owner:string -> unit
+val cas : t -> pid:int -> cell:int -> owner:string -> ok:bool -> unit
+val write : t -> pid:int -> cell:int -> owner:string -> unit
+
+val races : t -> race list
+(** In detection order. *)

@@ -1,0 +1,57 @@
+(* A [Mem.S] wrapper feeding every shared access to {!Race_detector}.
+
+   Intended for the deterministic simulator: wrap [Lf_dsim.Sim_mem] and
+   run a scenario; accesses made outside a simulated process's slice
+   (setup and observation, e.g. under [Lf_dsim.Sim.quiet]) carry no pid
+   and are excluded from the happens-before graph.
+
+   Annotations are used only to give cells readable names in race reports
+   (and are forwarded to the wrapped memory, where they are no-ops). *)
+
+module P = Lf_kernel.Protocol
+
+module Make (M : Lf_kernel.Mem.S) = struct
+  type 'a aref = { inner : 'a M.aref; id : int; mutable owner : string }
+
+  let det = Race_detector.create ()
+  let races () = Race_detector.races det
+  let reset () = Race_detector.clear det
+  let id_counter = ref 0
+
+  let make v =
+    incr id_counter;
+    let id = !id_counter in
+    { inner = M.make v; id; owner = Printf.sprintf "#%d" id }
+
+  let pid () = Lf_dsim.Sim.running_pid ()
+
+  let get r =
+    let v = M.get r.inner in
+    (match pid () with
+    | Some p -> Race_detector.read det ~pid:p ~cell:r.id ~owner:r.owner
+    | None -> ());
+    v
+
+  let cas r ~kind ~expect v' =
+    let ok = M.cas r.inner ~kind ~expect v' in
+    (match pid () with
+    | Some p -> Race_detector.cas det ~pid:p ~cell:r.id ~owner:r.owner ~ok
+    | None -> ());
+    ok
+
+  let set r v =
+    M.set r.inner v;
+    match pid () with
+    | Some p -> Race_detector.write det ~pid:p ~cell:r.id ~owner:r.owner
+    | None -> ()
+
+  let event = M.event
+  let pause = M.pause
+  let stamp r = r.id
+
+  let annotate r (a : _ P.annot) =
+    (match a with
+    | P.Succ { owner; _ } -> r.owner <- owner ^ ".succ"
+    | P.Backlink { owner; _ } -> r.owner <- owner ^ ".backlink");
+    M.annotate r.inner a
+end

@@ -1,0 +1,11 @@
+(** A {!Lf_kernel.Mem.S} wrapper feeding every shared access to a
+    {!Race_detector}.  Wrap the simulator's memory and run a scenario;
+    accesses outside any process slice (setup, observation under
+    [Sim.quiet]) are excluded. *)
+
+module Make (M : Lf_kernel.Mem.S) : sig
+  include Lf_kernel.Mem.S
+
+  val races : unit -> Race_detector.race list
+  val reset : unit -> unit
+end

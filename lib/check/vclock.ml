@@ -1,0 +1,42 @@
+(* Growable dense vector clocks for the happens-before race detector.
+   Component [i] is process [i]'s logical time; missing components are 0. *)
+
+type t = { mutable v : int array }
+
+let create () = { v = [||] }
+
+let grow c n =
+  if Array.length c.v < n then begin
+    let v' = Array.make (max n ((2 * Array.length c.v) + 1)) 0 in
+    Array.blit c.v 0 v' 0 (Array.length c.v);
+    c.v <- v'
+  end
+
+let get c i = if i >= 0 && i < Array.length c.v then c.v.(i) else 0
+
+let set c i x =
+  grow c (i + 1);
+  c.v.(i) <- x
+
+let tick c i = set c i (get c i + 1)
+
+(* dst := dst join src, componentwise max. *)
+let join dst src =
+  grow dst (Array.length src.v);
+  Array.iteri (fun i x -> if x > dst.v.(i) then dst.v.(i) <- x) src.v
+
+(* Is the event at epoch (pid, time) ordered before everything [c] has
+   seen?  The FastTrack epoch comparison: time <= c[pid]. *)
+let epoch_leq ~pid ~time c = time <= get c pid
+
+let leq a b =
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > get b i then ok := false) a.v;
+  !ok
+
+let pp ppf c =
+  Format.fprintf ppf "<%a>"
+    (Format.pp_print_seq
+       ~pp_sep:(fun ppf () -> Format.pp_print_char ppf ',')
+       Format.pp_print_int)
+    (Array.to_seq c.v)

@@ -1,0 +1,18 @@
+(** Growable dense vector clocks (component [i] = process [i]'s time). *)
+
+type t
+
+val create : unit -> t
+val get : t -> int -> int
+val set : t -> int -> int -> unit
+val tick : t -> int -> unit
+
+val join : t -> t -> unit
+(** [join dst src] sets [dst] to the componentwise max. *)
+
+val epoch_leq : pid:int -> time:int -> t -> bool
+(** FastTrack epoch test: is the event at [(pid, time)] happens-before
+    everything clock [c] has seen, i.e. [time <= c.(pid)]? *)
+
+val leq : t -> t -> bool
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,57 @@
+(* Structured protocol-violation reports raised by {!Check_mem}.
+
+   A report carries enough to debug the failure without re-running: the
+   offending access itself, a bounded per-process tail of recent mutations
+   on protocol cells, and a rendering of every list chain as the checker
+   understood it at the moment of the violation.  The exception is
+   registered with [Printexc] so harnesses that only stringify exceptions
+   (e.g. [Lf_dsim.Explore] recording a failing schedule) still surface the
+   invariant name. *)
+
+type event = {
+  pid : int;  (* process / domain the access is attributed to *)
+  cell : int;  (* [Mem.S.stamp] of the accessed cell *)
+  owner : string;  (* rendered key of the node owning the cell *)
+  action : string;  (* e.g. "flag-cas ok", "mark-cas fail", "set" *)
+  detail : string;  (* rendered transition, e.g. "(right=7,m=0,f=0) -> ..." *)
+}
+
+type t = {
+  invariant : string;  (* "INV2: marked is terminal", "INV4: ...", ... *)
+  culprit : event;
+  trace : (int * event list) list;  (* recent mutations, per pid *)
+  snapshot : string list;  (* one rendered chain per annotated head cell *)
+}
+
+exception Protocol_violation of t
+
+let pp_event ppf e =
+  Format.fprintf ppf "p%d: %s on %s (cell %d) %s" e.pid e.action e.owner
+    e.cell e.detail
+
+let pp ppf t =
+  let open Format in
+  fprintf ppf "@[<v>protocol violation - %s@,culprit: %a" t.invariant pp_event
+    t.culprit;
+  (match t.snapshot with
+  | [] -> ()
+  | chains ->
+      fprintf ppf "@,chains:";
+      List.iter (fun c -> fprintf ppf "@,  %s" c) chains);
+  (match t.trace with
+  | [] -> ()
+  | per_pid ->
+      fprintf ppf "@,recent events:";
+      List.iter
+        (fun (pid, evs) ->
+          fprintf ppf "@,  p%d:" pid;
+          List.iter (fun e -> fprintf ppf "@,    %a" pp_event e) evs)
+        per_pid);
+  fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let () =
+  Printexc.register_printer (function
+    | Protocol_violation t -> Some (to_string t)
+    | _ -> None)

@@ -44,11 +44,55 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
   and 'a succ = { right : 'a link; mark : bool; flag : bool }
   and 'a link = Null | Node of 'a node
 
-  type 'a t = { head : 'a node; tail : 'a node; use_flags : bool }
+  (* Seeded protocol bugs for the sanitizer tests (Lf_check.Check_mem):
+     each variant corrupts one step of the deletion protocol in a way that
+     runs silently on unchecked memories but trips a specific invariant. *)
+  type mutation = Skip_flag | Double_mark | Unlink_unflagged | Backlink_right
+
+  type 'a t = {
+    head : 'a node;
+    tail : 'a node;
+    use_flags : bool;
+    mutation : mutation option;
+  }
 
   let name = "fr-list"
 
-  let create_with ~use_flags () =
+  (* Declare a node's cells to a checked memory.  The decoders close over
+     the node so they can render its key and compare against neighbours
+     with the functor's own order; neighbour cells are named by [M.stamp],
+     a pure field read on checked memories.  Guarded by [M.stamp <> 0] so
+     unchecked memories (where annotation is a no-op anyway) do not even
+     pay for rendering the owner key on the insert path. *)
+  let succ_view_of n (s : _ succ) : Lf_kernel.Protocol.succ_view =
+    {
+      right_id =
+        (match s.right with
+        | Null -> Lf_kernel.Protocol.null_id
+        | Node r -> M.stamp r.succ);
+      right_gt_owner =
+        (match s.right with Null -> true | Node r -> BK.lt n.key r.key);
+      mark = s.mark;
+      flag = s.flag;
+    }
+
+  let link_view_of n (l : _ link) : Lf_kernel.Protocol.link_view =
+    match l with
+    | Null ->
+        { target_id = Lf_kernel.Protocol.null_id; left_of_owner = true }
+    | Node b -> { target_id = M.stamp b.succ; left_of_owner = BK.lt b.key n.key }
+
+  let annotate_node ?(head = false) ?(sentinel = false) n =
+    if M.stamp n.succ <> 0 then begin
+      let owner = Format.asprintf "%a" BK.pp n.key in
+      M.annotate n.succ
+        (Lf_kernel.Protocol.Succ
+           { owner; head; sentinel; view = succ_view_of n });
+      M.annotate n.backlink
+        (Lf_kernel.Protocol.Backlink { owner; view = link_view_of n })
+    end
+
+  let create_with ?mutation ~use_flags () =
     let tail =
       {
         key = Pos_inf;
@@ -65,7 +109,13 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
         backlink = M.make Null;
       }
     in
-    { head; tail; use_flags }
+    (* The flagless ablation deliberately breaks the protocol; it stays
+       unannotated so it can run under a checked memory too. *)
+    if use_flags then begin
+      annotate_node ~sentinel:true tail;
+      annotate_node ~head:true ~sentinel:true head
+    end;
+    { head; tail; use_flags; mutation }
 
   let create () = create_with ~use_flags:true ()
 
@@ -220,6 +270,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
             backlink = M.make Null;
           }
         in
+        if t.use_flags then annotate_node nn;
         if
           M.cas prev.succ ~kind:Ev.Insertion ~expect:ps
             { right = Node nn; mark = false; flag = false }
@@ -286,9 +337,53 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
       won
     end
 
+  (* Seeded-bug deletions (see [mutation] above).  Single-process use in
+     sanitizer tests; each returns what an honest delete would. *)
+  let delete_mutant t m kb =
+    let prev, del = search_from t ~inclusive:false kb t.head in
+    if not (BK.equal del.key kb) then false
+    else
+      match m with
+      | Skip_flag ->
+          (* Mark without flagging the predecessor: INV 3. *)
+          M.set del.backlink (Node prev);
+          try_mark t del;
+          true
+      | Double_mark ->
+          (* Run the honest three-step deletion, then C&S the frozen marked
+             descriptor once more: INV 2 (marked is terminal). *)
+          let won = delete_flagged t kb in
+          let s = M.get del.succ in
+          if s.mark then
+            ignore
+              (M.cas del.succ ~kind:Ev.Marking ~expect:s { s with mark = true });
+          won
+      | Unlink_unflagged ->
+          (* Physically delete [del] without flagging or marking anything:
+             INV 3 (unlink from an unflagged predecessor). *)
+          let ps = M.get prev.succ in
+          if same_node ps.right del && (not ps.mark) && not ps.flag then
+            ignore
+              (M.cas prev.succ ~kind:Ev.Physical_delete ~expect:ps
+                 {
+                   right = (M.get del.succ).right;
+                   mark = false;
+                   flag = false;
+                 });
+          true
+      | Backlink_right -> (
+          (* Point the victim's backlink at its *successor*: INV 4. *)
+          match (M.get del.succ).right with
+          | Node nxt ->
+              M.set del.backlink (Node nxt);
+              true
+          | Null -> true)
+
   let delete t k =
     let kb = Lf_kernel.Ordered.Mid k in
-    if t.use_flags then delete_flagged t kb else delete_flagless t kb
+    match t.mutation with
+    | Some m -> delete_mutant t m kb
+    | None -> if t.use_flags then delete_flagged t kb else delete_flagless t kb
 
   (* Successor query: the smallest regular binding with key >= [k].  If the
      candidate is marked (logically deleted), help its physical deletion and

@@ -28,16 +28,27 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
   type 'a t
   (** A dictionary from [K.t] to ['a]. *)
 
+  type mutation = Skip_flag | Double_mark | Unlink_unflagged | Backlink_right
+  (** Seeded protocol bugs for the sanitizer tests: a mutated list's
+      [delete] corrupts one step of the three-step protocol.  On unchecked
+      memories the damage is silent (often even invisible to a quiescent
+      [check_invariants]); under [Lf_check.Check_mem] each variant trips a
+      specific invariant — respectively INV 3 (marking without a flagged
+      predecessor), INV 2 (marked is terminal), INV 3 (physical delete from
+      an unflagged predecessor) and INV 4 (backlink points right). *)
+
   val name : string
 
   val create : unit -> 'a t
 
-  val create_with : use_flags:bool -> unit -> 'a t
+  val create_with : ?mutation:mutation -> use_flags:bool -> unit -> 'a t
   (** [create_with ~use_flags:false] builds the EXP-8 ablation variant:
       two-step Harris-style deletion that still sets backlinks but never
       flags the predecessor.  It is correct but loses the guarantee that
       backlinks point at unmarked nodes — the pathology flags exist to
-      prevent.  [create () = create_with ~use_flags:true ()]. *)
+      prevent.  The ablation is not annotated for checked memories, unlike
+      the [use_flags:true] variants (mutated or not).
+      [create () = create_with ~use_flags:true ()]. *)
 
   (** {1 Dictionary operations (Figures 3-5)} *)
 

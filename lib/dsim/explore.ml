@@ -53,8 +53,17 @@ let run_one ~max_steps mk (forced : int array) =
         last := chosen;
         Some chosen
   in
-  ignore (Sim.run ~policy:(Sim.Custom policy) ~max_steps bodies);
-  (List.rev !trace, check ())
+  (* A mid-run exception (a checked memory's protocol violation, an
+     invariant checker firing inside a process body, the step budget) is a
+     verdict about this schedule, not about the exploration: record it as a
+     failure so the DFS keeps covering the remaining schedules and reports
+     a reproducing prefix. *)
+  let verdict =
+    match Sim.run ~policy:(Sim.Custom policy) ~max_steps bodies with
+    | (_ : Sim.result) -> check ()
+    | exception e -> Error (Printexc.to_string e)
+  in
+  (List.rev !trace, verdict)
 
 let run ?(max_preemptions = 2) ?(max_schedules = 100_000)
     ?(max_steps = 1_000_000) ?(max_failures = 10)

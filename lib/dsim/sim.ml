@@ -99,6 +99,14 @@ let runnable st =
 let op_begin ~n = Effect.perform (Sim_effect.Note (Op_begin n))
 let op_end () = Effect.perform (Sim_effect.Note Op_end)
 
+(* The pid whose slice is executing right now, for observers that live
+   *inside* the simulated processes (checked memories attributing protocol
+   events and races to processes).  [None] outside any slice - in
+   particular under [quiet], whose accesses are setup/observation rather
+   than part of the concurrent execution. *)
+let running : pid option ref = ref None
+let running_pid () = !running
+
 (* ------------------------------------------------------------------ *)
 (* Accounting.                                                         *)
 
@@ -283,7 +291,9 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
             (* Launching a body runs only private code up to its first
                shared-memory access; it is not itself a step. *)
             st.procs.(pid) <- Running;
-            handle st pid body
+            running := Some pid;
+            handle st pid body;
+            running := None
         | Blocked (k, cont) ->
             st.total_steps <- st.total_steps + 1;
             if st.total_steps > max_steps then
@@ -291,13 +301,18 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
             st.procs.(pid) <- Running;
             st.last_step <- Some (pid, k);
             record_step st pid k;
-            Effect.Deep.continue cont ()
+            running := Some pid;
+            Effect.Deep.continue cont ();
+            running := None
         | Running -> failwith "Sim: scheduled a running process"
         | Finished -> failwith "Sim: scheduled a finished process");
         (match on_step with Some f -> f st pid | None -> ());
         loop pid
   in
-  loop (p - 1);
+  let saved_running = !running in
+  Fun.protect
+    ~finally:(fun () -> running := saved_running)
+    (fun () -> loop (p - 1));
   (* Fold still-open operations into the records so that executions the
      adversary cuts short (operations held forever at a pending C&S, as in
      the Section 3.1 construction) are still accounted for. *)

@@ -79,6 +79,12 @@ val op_begin : n:int -> unit
 
 val op_end : unit -> unit
 
+val running_pid : unit -> pid option
+(** The pid whose slice is executing right now, for observers living inside
+    the simulated processes (checked memories attributing protocol events
+    and races).  [None] outside any slice — in particular under {!quiet},
+    whose accesses are setup/observation, not part of the execution. *)
+
 (** {1 Running} *)
 
 exception Step_budget_exhausted of int

@@ -32,3 +32,5 @@ let set r v =
 
 let event e = Effect.perform (Sim_effect.Note (Ev e))
 let pause _n = Effect.perform (Sim_effect.Step Pause)
+let stamp _ = 0
+let annotate _ (_ : _ Lf_kernel.Protocol.annot) = ()

@@ -14,3 +14,6 @@ let pause n =
   for _ = 1 to spins do
     Domain.cpu_relax ()
   done
+
+let stamp _ = 0
+let annotate _ (_ : _ Protocol.annot) = ()

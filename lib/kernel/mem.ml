@@ -33,4 +33,15 @@ module type S = sig
   val pause : int -> unit
   (** Backoff hint after [n] consecutive failures; a no-op or [cpu_relax] on
       real memory, a yield in the simulator. *)
+
+  val stamp : 'a aref -> int
+  (** Checker-assigned identity of the cell.  Positive and unique per cell
+      under a checked memory ([Lf_check.Check_mem]); [0] everywhere else.
+      Never a scheduling point. *)
+
+  val annotate : 'a aref -> 'a Protocol.annot -> unit
+  (** Declare a freshly made cell as a protocol carrier (a succ field or a
+      backlink) so a checked memory can validate every transition against
+      the paper's state machine.  A no-op on unchecked memories; never a
+      scheduling point. *)
 end

@@ -1,0 +1,42 @@
+(* Abstract views of the paper's succ-field protocol, used by checked
+   memories (Lf_check.Check_mem).
+
+   The algorithms in lib/core and lib/skiplist are functors over [Mem.S]
+   whose node types are private to each functor body, so a wrapping memory
+   cannot inspect a descriptor directly.  Instead, the algorithm *annotates*
+   each protocol-carrying cell right after [Mem.S.make] with a decoder that
+   maps the cell's abstract contents to one of the views below.  The decoder
+   closes over the node (so it can compare keys with the functor's own
+   [K.compare]) and identifies neighbouring cells by their [Mem.S.stamp].
+
+   Memories that do not check anything (Atomic_mem, Counting_mem, Sim_mem)
+   ignore annotations and stamp every cell 0, so the annotations cost one
+   closure allocation per node and nothing on the access paths. *)
+
+(* View of one succ descriptor {right; mark; flag}. *)
+type succ_view = {
+  right_id : int;
+      (* stamp of the right neighbour's succ cell; [null_id] for Null *)
+  right_gt_owner : bool;
+      (* strict K-order: right.key > owner.key (INV 1, locally) *)
+  mark : bool;
+  flag : bool;
+}
+
+(* View of one backlink cell. *)
+type link_view = {
+  target_id : int;
+      (* stamp of the target node's succ cell; [null_id] when unset *)
+  left_of_owner : bool; (* strict K-order: target.key < owner.key *)
+}
+
+let null_id = -1
+
+type 'a annot =
+  | Succ of {
+      owner : string; (* rendered key of the node owning the cell *)
+      head : bool; (* chain start: snapshots are rendered from here *)
+      sentinel : bool; (* head or tail: exempt from node-lifecycle rules *)
+      view : 'a -> succ_view;
+    }
+  | Backlink of { owner : string; view : 'a -> link_view }

@@ -1,0 +1,39 @@
+(** Abstract views of the paper's succ-field protocol, for checked memories.
+
+    The algorithms are functors over {!Mem.S} with private node types, so a
+    wrapping memory cannot inspect descriptors directly.  Each
+    protocol-carrying cell is {e annotated} right after {!Mem.S.make} with a
+    decoder from the cell's abstract contents to one of these views; the
+    decoder closes over the owning node, compares keys with the functor's
+    own comparator, and names neighbouring cells by their {!Mem.S.stamp}.
+    Unchecked memories ignore annotations entirely. *)
+
+(** View of one succ descriptor [(right, mark, flag)]. *)
+type succ_view = {
+  right_id : int;
+      (** stamp of the right neighbour's succ cell; {!null_id} for [Null] *)
+  right_gt_owner : bool;
+      (** strict key order: [right.key > owner.key] (INV 1, locally) *)
+  mark : bool;
+  flag : bool;
+}
+
+(** View of one backlink cell. *)
+type link_view = {
+  target_id : int;
+      (** stamp of the target node's succ cell; {!null_id} when unset *)
+  left_of_owner : bool;  (** strict key order: [target.key < owner.key] *)
+}
+
+val null_id : int
+(** The stamp stand-in for [Null] ([-1]; real stamps are positive). *)
+
+type 'a annot =
+  | Succ of {
+      owner : string;  (** rendered key of the node owning the cell *)
+      head : bool;  (** chain start: snapshots are rendered from here *)
+      sentinel : bool;
+          (** head or tail: exempt from node-lifecycle rules *)
+      view : 'a -> succ_view;
+    }
+  | Backlink of { owner : string; view : 'a -> link_view }

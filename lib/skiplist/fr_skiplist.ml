@@ -55,6 +55,40 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
 
   let name = "fr-skiplist"
 
+  (* Declare a node's cells to a checked memory (Lf_check.Check_mem); a
+     no-op elsewhere, and guarded by [M.stamp <> 0] so unchecked memories
+     do not even pay for rendering the owner key.  Every level runs the
+     Section 3 protocol independently, so each node is annotated exactly
+     like a list node; the level is folded into the owner name to keep
+     reports and per-level chain snapshots readable. *)
+  let succ_view_of n (s : _ succ) : Lf_kernel.Protocol.succ_view =
+    {
+      right_id =
+        (match s.right with
+        | Null -> Lf_kernel.Protocol.null_id
+        | Node r -> M.stamp r.succ);
+      right_gt_owner =
+        (match s.right with Null -> true | Node r -> BK.lt n.key r.key);
+      mark = s.mark;
+      flag = s.flag;
+    }
+
+  let link_view_of n (l : _ link) : Lf_kernel.Protocol.link_view =
+    match l with
+    | Null ->
+        { target_id = Lf_kernel.Protocol.null_id; left_of_owner = true }
+    | Node b -> { target_id = M.stamp b.succ; left_of_owner = BK.lt b.key n.key }
+
+  let annotate_node ?(head = false) ?(sentinel = false) ~level n =
+    if M.stamp n.succ <> 0 then begin
+      let owner = Format.asprintf "L%d:%a" level BK.pp n.key in
+      M.annotate n.succ
+        (Lf_kernel.Protocol.Succ
+           { owner; head; sentinel; view = succ_view_of n });
+      M.annotate n.backlink
+        (Lf_kernel.Protocol.Backlink { owner; view = link_view_of n })
+    end
+
   let rng_key =
     Domain.DLS.new_key (fun () ->
         Lf_kernel.Splitmix.create (0x5ee *  ((Domain.self () :> int) + 1)))
@@ -72,6 +106,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
       }
     in
     let heads = Array.make max_level tail in
+    annotate_node ~sentinel:true ~level:0 tail;
     for l = 1 to max_level do
       heads.(l - 1) <-
         {
@@ -82,7 +117,8 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
           tower_root = Null;
           succ = M.make { right = Node tail; mark = false; flag = false };
           backlink = M.make Null;
-        }
+        };
+      annotate_node ~head:true ~sentinel:true ~level:l heads.(l - 1)
     done;
     { max_level; heads; tail; help_superfluous }
 
@@ -274,6 +310,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
             backlink = M.make Null;
           }
         in
+        annotate_node ~level nn;
         if
           M.cas prev.succ ~kind:Ev.Insertion ~expect:ps
             { right = Node nn; mark = false; flag = false }
@@ -515,7 +552,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     let h = Array.make (t.max_level + 1) 0 in
     for l = 1 to t.max_level do
       let this = counts.(l - 1) in
-      let above = if l = t.max_level then 0 else counts.(l) in
+      let above = if Int.equal l t.max_level then 0 else counts.(l) in
       h.(l) <- this - above
     done;
     h
@@ -535,7 +572,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
                 fail "fr-skiplist: marked node at quiescence (level %d)" l;
               if s.flag then
                 fail "fr-skiplist: flagged node at quiescence (level %d)" l;
-              if n.level <> l then
+              if not (Int.equal n.level l) then
                 fail "fr-skiplist: node level tag mismatch at level %d" l;
               (match n.down with
               | Node d when l > 1 ->

@@ -152,7 +152,8 @@ module Make (K : Lf_kernel.Ordered.S) = struct
       | None -> acc
       | Some n -> count (acc + 1) n.forward.(0)
     in
-    if count 0 t.header.(0) <> t.size then failwith "pugh: size mismatch"
+    if not (Int.equal (count 0 t.header.(0)) t.size) then
+      failwith "pugh: size mismatch"
 end
 
 module Int = Make (Lf_kernel.Ordered.Int)

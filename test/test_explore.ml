@@ -142,8 +142,15 @@ let dict_scenario ~mk_dict ~initial ~scripts () =
   in
   (Array.make (List.length scripts) body, check)
 
+(* The FR structures explore under the protocol sanitizer: every schedule the
+   explorer enumerates is also validated against INV 1-5 step by step, and a
+   violation surfaces as that schedule's failure (with its reproducing
+   prefix).  Each call builds a fresh [Check_mem] instance, so no cross-
+   schedule state leaks.  The baselines (Harris, Valois) keep plain [Sim_mem]:
+   they do not speak the flag/backlink protocol. *)
 let fr_list_dict () =
-  let module L = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem) in
+  let module CM = Lf_check.Check_mem.Make (Lf_dsim.Sim_mem) in
+  let module L = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (CM) in
   let t = L.create () in
   ( (fun k -> L.insert t k k),
     (fun k -> L.delete t k),
@@ -173,9 +180,8 @@ let valois_dict () =
     fun () -> L.check_invariants t )
 
 let skiplist_dict () =
-  let module L =
-    Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
-  in
+  let module CM = Lf_check.Check_mem.Make (Lf_dsim.Sim_mem) in
+  let module L = Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (CM) in
   let t = L.create_with ~max_level:3 () in
   ( (fun k -> L.insert_with_height t ~height:((k mod 3) + 1) k k),
     (fun k -> L.delete t k),

@@ -1,0 +1,7 @@
+(* Fixture: nothing to report — the negative control. *)
+
+type node = { key : int; mutable next : node option }
+
+let fresh key = { key; next = None }
+let eq_key (a : node) (b : node) = Int.equal a.key b.key
+let mentions_atomic_in_a_comment_only = "Atomic.get is fine in prose"

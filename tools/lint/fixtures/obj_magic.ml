@@ -1,0 +1,6 @@
+(* Fixture: Obj.magic is never acceptable in this tree. *)
+
+let coerce (x : int) : string = Obj.magic x (* EXPECT: no-obj-magic *)
+
+(* Other Obj functions are not this rule's business. *)
+let addr (x : 'a) = Obj.repr x

@@ -1,0 +1,20 @@
+(* Fixture: structural comparison on node types chases backlinks into
+   cycles.  Comparing against literals or nullary constructors is fine. *)
+
+type node = { key : int; mutable next : node option }
+
+let same (a : node) (b : node) = a = b (* EXPECT: no-poly-compare *)
+let differ (a : node) (b : node) = a <> b (* EXPECT: no-poly-compare *)
+let order (a : node) (b : node) = compare a b (* EXPECT: no-poly-compare *)
+let order' (a : node) (b : node) = Stdlib.compare a b (* EXPECT: no-poly-compare *)
+let hash (n : node) = Hashtbl.hash n (* EXPECT: no-poly-compare *)
+let as_function = ( = ) (* EXPECT: no-poly-compare *)
+
+(* Allowed: one operand is a literal or a nullary constructor. *)
+let is_zero k = k = 0
+let detached n = n.next = None
+let keyed n = n.key <> 0
+
+(* Allowed: comparison through a key module. *)
+let same_key (a : node) (b : node) = Int.equal a.key b.key
+let order_keys (a : node) (b : node) = Int.compare a.key b.key

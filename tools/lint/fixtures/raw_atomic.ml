@@ -1,0 +1,10 @@
+(* Fixture: shared cells must go through the Mem.S seam, not raw Atomic. *)
+
+let counter = Atomic.make 0 (* EXPECT: no-raw-atomic *)
+let bump () = Atomic.incr counter (* EXPECT: no-raw-atomic *)
+
+type cell = { slot : int Atomic.t } (* EXPECT: no-raw-atomic *)
+
+module A = Atomic (* EXPECT: no-raw-atomic *)
+
+let read c = A.get c.slot

@@ -1,0 +1,117 @@
+(* Driver for the concurrency lint.
+
+   Normal mode: [lint.exe DIR...] walks the given directories (skipping
+   [_build], dot-directories and any directory named [fixtures]), lints every
+   [.ml] file with the path-scoped rules and waivers of {!Lint_core}, prints
+   findings as [file:line: [rule] message] and exits 1 if there are any.
+
+   Fixture mode: [lint.exe --fixtures-test DIR] lints every file in DIR with
+   every rule active (waivers ignored) and demands that the findings match,
+   line for line, the [(* EXPECT: rule *)] markers in the fixtures — no
+   missing findings, no extras.  This is the lint's own regression test,
+   wired into [dune runtest]. *)
+
+let rec walk path acc =
+  if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if
+             String.equal name "_build"
+             || String.equal name "fixtures"
+             || (String.length name > 0 && name.[0] = '.')
+           then acc
+           else walk (Filename.concat path name) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_tree paths =
+  let files = List.fold_left (fun acc p -> walk p acc) [] paths |> List.rev in
+  let violations = List.concat_map (Lint_core.check_file ~all:false) files in
+  match violations with
+  | [] ->
+      Printf.printf "lint: %d files, no findings\n" (List.length files);
+      0
+  | vs ->
+      List.iter (Lint_core.pp_violation stderr) vs;
+      Printf.eprintf "lint: %d finding(s) in %d files\n" (List.length vs)
+        (List.length files);
+      1
+
+(* [(* EXPECT: rule *)] markers, one per offending line. *)
+let expected_of_file path =
+  let ic = open_in path in
+  let out = ref [] in
+  let line_no = ref 0 in
+  (try
+     while true do
+       incr line_no;
+       let line = input_line ic in
+       match String.index_opt line 'E' with
+       | None -> ()
+       | Some _ -> (
+           let marker = "EXPECT: " in
+           let mlen = String.length marker in
+           let rec find i =
+             if i + mlen > String.length line then None
+             else if String.equal (String.sub line i mlen) marker then Some (i + mlen)
+             else find (i + 1)
+           in
+           match find 0 with
+           | None -> ()
+           | Some start ->
+               let stop = ref start in
+               while
+                 !stop < String.length line
+                 && (match line.[!stop] with
+                    | 'a' .. 'z' | '-' -> true
+                    | _ -> false)
+               do
+                 incr stop
+               done;
+               out := (!line_no, String.sub line start (!stop - start)) :: !out)
+     done
+   with End_of_file -> close_in ic);
+  List.rev !out
+
+let fixtures_test dir =
+  let files = walk dir [] |> List.rev in
+  if files = [] then begin
+    Printf.eprintf "fixtures-test: no .ml files under %s\n" dir;
+    exit 1
+  end;
+  let status = ref 0 in
+  let total = ref 0 in
+  List.iter
+    (fun file ->
+      let expected = expected_of_file file in
+      let actual =
+        Lint_core.check_file ~all:true file
+        |> List.map (fun v -> (v.Lint_core.line, v.Lint_core.rule))
+      in
+      let sort = List.sort_uniq Lint_core.compare_lr in
+      let expected = sort expected and actual = sort actual in
+      total := !total + List.length expected;
+      if not (List.equal (fun a b -> Lint_core.compare_lr a b = 0) expected actual)
+      then begin
+        status := 1;
+        let show (l, r) = Printf.sprintf "line %d: %s" l r in
+        Printf.eprintf "fixtures-test: %s\n  expected: %s\n  reported: %s\n"
+          file
+          (String.concat "; " (List.map show expected))
+          (String.concat "; " (List.map show actual))
+      end)
+    files;
+  if !status = 0 then
+    Printf.printf "lint fixtures: OK (%d files, %d expected findings)\n"
+      (List.length files) !total;
+  !status
+
+let () =
+  match Array.to_list Sys.argv with
+  | _ :: "--fixtures-test" :: dir :: [] -> exit (fixtures_test dir)
+  | _ :: (_ :: _ as paths) -> exit (lint_tree paths)
+  | _ ->
+      prerr_endline "usage: lint.exe DIR...  |  lint.exe --fixtures-test DIR";
+      exit 2

@@ -1,0 +1,213 @@
+(* Source-level concurrency lint over the compiler-libs parsetree.
+
+   Three rules, each motivated by a class of bug that type-checks fine but
+   breaks the lock-free structures at runtime:
+
+   - [no-raw-atomic]: every shared cell must go through the [Lf_kernel.Mem.S]
+     seam.  A raw [Atomic.t] outside [lib/kernel/] is invisible to
+     [Check_mem] / [Race_mem] / [Sim_mem], so the sanitizers, the race
+     detector and the schedule explorer silently under-approximate.
+
+   - [no-obj-magic]: never acceptable in this tree.
+
+   - [no-poly-compare]: structural [=] / [compare] / [Hashtbl.hash] on node
+     types follows [succ] and [backlink] pointers; backlinks make the graph
+     cyclic, so polymorphic comparison can diverge (and is wrong anyway once
+     descriptors carry marks).  Scoped to the libraries that define node
+     types.  Comparing against a literal or a nullary constructor
+     ([s.right <> Null], [x = 0]) is allowed: no pointer chasing there.
+
+   The rules are path-scoped and a small waiver table exempts known-benign
+   files, each with a reason that is printed if the waiver is ever reported. *)
+
+type violation = { file : string; line : int; rule : string; message : string }
+
+let rule_raw_atomic = "no-raw-atomic"
+let rule_obj_magic = "no-obj-magic"
+let rule_poly_compare = "no-poly-compare"
+let rule_parse_error = "parse-error"
+
+(* Directories where shared cells are allowed to be raw atomics: the kernel
+   implements the seam itself; tests, examples and this tool are harness
+   code, not structure code. *)
+let atomic_exempt_prefixes = [ "lib/kernel/"; "test/"; "examples/"; "tools/" ]
+
+(* Libraries that define node types with succ/backlink pointers. *)
+let poly_scope_prefixes =
+  [ "lib/core/"; "lib/skiplist/"; "lib/baselines/"; "lib/hashtable/"; "lib/pqueue/" ]
+
+(* file, rule, reason.  Waivers are deliberate, reviewed exceptions. *)
+let waivers =
+  [
+    ( "lib/baselines/lazy_list.ml",
+      rule_raw_atomic,
+      "lock-based baseline for EXP comparisons; not a subject of the \
+       checked-memory sanitizers" );
+    ( "lib/lin/history.ml",
+      rule_raw_atomic,
+      "history recorder infrastructure: its event counter is harness state, \
+       not structure state" );
+    ( "lib/pqueue/pqueue.ml",
+      rule_raw_atomic,
+      "timestamp counter for priority ties; never CASed as part of the \
+       node protocol" );
+    ( "lib/workload/runner.ml",
+      rule_raw_atomic,
+      "start barrier for benchmark domains; harness synchronization" );
+    ( "lib/hashtable/lf_hashtable.ml",
+      rule_poly_compare,
+      "Hashtbl.hash on string keys, which are acyclic and node-free" );
+  ]
+
+let waived path rule =
+  List.exists (fun (f, r, _) -> String.equal f path && String.equal r rule) waivers
+
+let has_prefix path prefixes =
+  List.exists (fun p -> String.length path >= String.length p
+                        && String.equal (String.sub path 0 (String.length p)) p)
+    prefixes
+
+(* [all:true] (fixture mode) activates every rule on every path and ignores
+   waivers, so fixtures exercise the rules regardless of where they live. *)
+let rule_active ~all path rule =
+  all
+  || (not (waived path rule))
+     &&
+     if String.equal rule rule_raw_atomic then
+       not (has_prefix path atomic_exempt_prefixes)
+     else if String.equal rule rule_poly_compare then
+       has_prefix path poly_scope_prefixes
+     else true
+
+open Parsetree
+
+let root_of_lid lid =
+  let rec go = function
+    | Longident.Lident s -> s
+    | Longident.Ldot (l, _) -> go l
+    | Longident.Lapply (l, _) -> go l
+  in
+  go lid
+
+(* An operand that makes poly [=]/[<>] safe: a constant, or a constructor
+   with no payload ([Null], [None], [true], ...). *)
+let is_literalish (e : expression) =
+  match e.pexp_desc with
+  | Pexp_constant _ -> true
+  | Pexp_construct (_, None) -> true
+  | Pexp_variant (_, None) -> true
+  | _ -> false
+
+let atomic_msg =
+  "raw Atomic outside lib/kernel; route shared cells through Lf_kernel.Mem.S \
+   so checked memories observe the access"
+
+let poly_msg what =
+  what
+  ^ " can chase succ/backlink pointers into cycles on node types; use the \
+     key module's comparison instead"
+
+let compare_lr (l1, r1) (l2, r2) =
+  match Int.compare l1 l2 with 0 -> String.compare r1 r2 | c -> c
+
+let check_file ~all path =
+  let src =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  let out = ref [] in
+  let report (loc : Location.t) rule message =
+    if rule_active ~all path rule then
+      out :=
+        { file = path; line = loc.loc_start.Lexing.pos_lnum; rule; message }
+        :: !out
+  in
+  (* [args]: the first arguments when the ident is the head of an
+     application, [None] when it appears bare (e.g. passed as a function). *)
+  let check_ident lid (loc : Location.t) args =
+    if String.equal (root_of_lid lid) "Atomic" then
+      report loc rule_raw_atomic atomic_msg;
+    (match lid with
+    | Longident.Ldot (Lident "Obj", "magic") ->
+        report loc rule_obj_magic
+          "Obj.magic defeats the type checker; there is no sound use of it \
+           in this tree"
+    | _ -> ());
+    let is_poly name =
+      match lid with
+      | Longident.Lident s -> String.equal s name
+      | Longident.Ldot (Lident "Stdlib", s) -> String.equal s name
+      | _ -> false
+    in
+    if is_poly "compare" then
+      report loc rule_poly_compare (poly_msg "polymorphic compare")
+    else if is_poly "=" || is_poly "<>" then begin
+      let allowed =
+        match args with
+        | Some ((_, a) :: (_, b) :: _) -> is_literalish a || is_literalish b
+        | _ -> false
+      in
+      if not allowed then
+        report loc rule_poly_compare (poly_msg "polymorphic equality")
+    end
+    else
+      match lid with
+      | Longident.Ldot (Lident "Hashtbl", "hash") ->
+          report loc rule_poly_compare (poly_msg "Hashtbl.hash")
+      | _ -> ()
+  in
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, args) ->
+              check_ident txt loc (Some args);
+              List.iter (fun (_, a) -> it.expr it a) args
+          | Pexp_ident { txt; loc } ->
+              check_ident txt loc None;
+              default.expr it e
+          | _ -> default.expr it e);
+      module_expr =
+        (fun it me ->
+          (match me.pmod_desc with
+          | Pmod_ident { txt; loc } when String.equal (root_of_lid txt) "Atomic"
+            ->
+              report loc rule_raw_atomic atomic_msg
+          | _ -> ());
+          default.module_expr it me);
+      typ =
+        (fun it ty ->
+          (match ty.ptyp_desc with
+          | Ptyp_constr ({ txt; loc }, _)
+            when String.equal (root_of_lid txt) "Atomic" ->
+              report loc rule_raw_atomic atomic_msg
+          | _ -> ());
+          default.typ it ty);
+    }
+  in
+  let lexbuf = Lexing.from_string src in
+  Lexing.set_filename lexbuf path;
+  (match Parse.implementation lexbuf with
+  | str -> it.structure it str
+  | exception e ->
+      out :=
+        {
+          file = path;
+          line = 1;
+          rule = rule_parse_error;
+          message = Printexc.to_string e;
+        }
+        :: !out);
+  (* One finding per (line, rule): helping code often hits the same ident
+     twice on a line, and the fixture EXPECT markers are per-line. *)
+  List.sort_uniq
+    (fun a b -> compare_lr (a.line, a.rule) (b.line, b.rule))
+    !out
+
+let pp_violation oc v =
+  Printf.fprintf oc "%s:%d: [%s] %s\n" v.file v.line v.rule v.message
