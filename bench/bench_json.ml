@@ -1,0 +1,72 @@
+(* Machine-readable benchmark output.
+
+   Experiments call [emit ~exp row] for every measurement; when the harness
+   was given [--json <dir>], [flush_all] writes one BENCH_<exp>.json per
+   experiment (a JSON array of flat objects).  Without [--json] the calls
+   are no-ops, so table output stays the only cost. *)
+
+let dir : string option ref = ref None
+let quick : bool ref = ref false
+
+type v = S of string | F of float | I of int | B of bool
+
+let escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let value_to_string = function
+  | S s -> Printf.sprintf "\"%s\"" (escape s)
+  | F f ->
+      (* NaN/inf are not JSON; clamp to null. *)
+      if Float.is_finite f then Printf.sprintf "%g" f else "null"
+  | I i -> string_of_int i
+  | B b -> if b then "true" else "false"
+
+let rows : (string, (string * v) list list ref) Hashtbl.t = Hashtbl.create 8
+
+let emit ~exp (row : (string * v) list) =
+  match !dir with
+  | None -> ()
+  | Some _ ->
+      let cell =
+        match Hashtbl.find_opt rows exp with
+        | Some r -> r
+        | None ->
+            let r = ref [] in
+            Hashtbl.add rows exp r;
+            r
+      in
+      cell := row :: !cell
+
+let flush_all () =
+  match !dir with
+  | None -> ()
+  | Some d ->
+      (try Unix.mkdir d 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+      Hashtbl.iter
+        (fun exp cell ->
+          let path = Filename.concat d (Printf.sprintf "BENCH_%s.json" exp) in
+          let oc = open_out path in
+          output_string oc "[\n";
+          List.rev !cell
+          |> List.iteri (fun i row ->
+                 if i > 0 then output_string oc ",\n";
+                 let fields =
+                   List.map
+                     (fun (k, v) ->
+                       Printf.sprintf "\"%s\": %s" (escape k)
+                         (value_to_string v))
+                     row
+                 in
+                 output_string oc ("  {" ^ String.concat ", " fields ^ "}"));
+          output_string oc "\n]\n";
+          close_out oc;
+          Printf.printf "wrote %s (%d rows)\n" path (List.length !cell))
+        rows

@@ -35,7 +35,16 @@ let run () =
                       string_of_int key_range;
                       string_of_int domains;
                       Printf.sprintf "%.0f" (r.ops_per_s /. 1000.);
-                    ])
+                    ];
+                  Bench_json.emit ~exp:"exp5"
+                    Bench_json.
+                      [
+                        ("impl", S r.impl);
+                        ("mix", S (Format.asprintf "%a" Lf_workload.Opgen.pp_mix mix));
+                        ("key_range", I key_range);
+                        ("domains", I domains);
+                        ("kops_per_s", F (r.ops_per_s /. 1000.));
+                      ])
                 [ 1; 2; 4 ])
             impls;
           print_newline ())

@@ -3,7 +3,13 @@
    Runs every experiment of EXPERIMENTS.md (the measurable claims of the
    paper plus the design-choice ablations from DESIGN.md) and prints one
    table per experiment.  `main.exe <name>...` runs a subset, e.g.
-   `dune exec bench/main.exe -- exp2 exp3`. *)
+   `dune exec bench/main.exe -- exp2 exp3`.
+
+   Flags:
+     --json <dir>   also write machine-readable BENCH_<exp>.json per
+                    experiment into <dir> (created if absent)
+     --quick        smaller op counts (CI smoke); honored by the
+                    experiments that expose it (exp17) *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -24,14 +30,29 @@ let experiments : (string * string * (unit -> unit)) list =
     ("exp14", "cost model: sim vs real domains", fun () -> ignore (Exp14.run ()));
     ("exp15", "skip-list recovery classes", fun () -> Exp15.run ());
     ("exp16", "protocol-sanitizer overhead", fun () -> ignore (Exp16.run ()));
+    ("exp17", "hint-guided searches + batches", fun () -> ignore (Exp17.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 
 let () =
+  (* Flags may appear anywhere among the experiment names. *)
+  let rec parse_flags acc = function
+    | "--json" :: dir :: rest ->
+        Bench_json.dir := Some dir;
+        parse_flags acc rest
+    | [ "--json" ] ->
+        prerr_endline "--json requires a directory argument";
+        exit 2
+    | "--quick" :: rest ->
+        Bench_json.quick := true;
+        parse_flags acc rest
+    | name :: rest -> parse_flags (name :: acc) rest
+    | [] -> List.rev acc
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ -> List.map (fun (n, _, _) -> n) experiments
+    match parse_flags [] (List.tl (Array.to_list Sys.argv)) with
+    | _ :: _ as names -> names
+    | [] -> List.map (fun (n, _, _) -> n) experiments
   in
   let t0 = Unix.gettimeofday () in
   List.iter
@@ -45,5 +66,6 @@ let () =
             experiments;
           exit 2)
     requested;
+  Bench_json.flush_all ();
   Printf.printf "\nAll requested experiments completed in %.1fs.\n"
     (Unix.gettimeofday () -. t0)

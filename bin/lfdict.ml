@@ -8,6 +8,8 @@
    Examples:
      dune exec bin/lfdict.exe -- list
      dune exec bin/lfdict.exe -- throughput -i fr-skiplist -d 4 -n 100000
+     dune exec bin/lfdict.exe -- throughput -i fr-list --hints off
+     dune exec bin/lfdict.exe -- throughput -i lf-hashtable --batch 64
      dune exec bin/lfdict.exe -- check -i fr-list -s 50 *)
 
 open Cmdliner
@@ -27,6 +29,54 @@ let impls : (string * (module Lf_workload.Runner.INT_DICT)) list =
     ("lf-hashtable", (module Lf_hashtable.Atomic_int));
   ]
 
+(* --hints off variants: the same structures created with the per-domain
+   predecessor caches disabled (the EXP-17 ablation, from the command
+   line). *)
+module Fr_list_nohints = struct
+  include Lf_list.Fr_list.Atomic_int
+
+  let name = "fr-list(-hints)"
+  let create () = create_with ~use_hints:false ~use_flags:true ()
+end
+
+module Fr_skiplist_nohints = struct
+  include Lf_skiplist.Fr_skiplist.Atomic_int
+
+  let name = "fr-skiplist(-hints)"
+  let create () = create_with ~use_hints:false ()
+end
+
+module Lf_hashtable_nohints = struct
+  include Lf_hashtable.Atomic_int
+
+  let name = "lf-hashtable(-hints)"
+  let create () = create_with ~use_hints:false ()
+end
+
+let nohints_impls : (string * (module Lf_workload.Runner.INT_DICT)) list =
+  [
+    ("fr-list", (module Fr_list_nohints));
+    ("fr-skiplist", (module Fr_skiplist_nohints));
+    ("lf-hashtable", (module Lf_hashtable_nohints));
+  ]
+
+(* --batch n routes the op stream through the batched entry points
+   (insert_batch / delete_batch / mem_batch), n operations per chunk. *)
+let batched_impls ~hints :
+    (string * (module Lf_workload.Runner.INT_DICT_BATCHED)) list =
+  if hints then
+    [
+      ("fr-list", (module Lf_list.Fr_list.Atomic_int));
+      ("fr-skiplist", (module Lf_skiplist.Fr_skiplist.Atomic_int));
+      ("lf-hashtable", (module Lf_hashtable.Atomic_int));
+    ]
+  else
+    [
+      ("fr-list", (module Fr_list_nohints));
+      ("fr-skiplist", (module Fr_skiplist_nohints));
+      ("lf-hashtable", (module Lf_hashtable_nohints));
+    ]
+
 (* The FR structures instantiated over the protocol sanitizer: every C&S and
    store is validated against the deletion state machine (INV 1-5); a
    violation aborts with a structured report (event, per-process traces,
@@ -42,15 +92,25 @@ let checked_impls : (string * (module Lf_workload.Runner.INT_DICT)) list =
     ("fr-skiplist", (module Checked_fr_skiplist));
   ]
 
-let resolve name checked : (module Lf_workload.Runner.INT_DICT) =
-  if not checked then List.assoc name impls
-  else
+let resolve name checked ~hints : (module Lf_workload.Runner.INT_DICT) =
+  if checked then (
+    if not hints then (
+      prerr_endline "--hints off is not supported together with --checked";
+      exit 2);
     match List.assoc_opt name checked_impls with
     | Some m -> m
     | None ->
         Printf.eprintf "--checked is available for: %s\n"
           (String.concat ", " (List.map fst checked_impls));
+        exit 2)
+  else if not hints then
+    match List.assoc_opt name nohints_impls with
+    | Some m -> m
+    | None ->
+        Printf.eprintf "--hints off is available for: %s\n"
+          (String.concat ", " (List.map fst nohints_impls));
         exit 2
+  else List.assoc name impls
 
 let impl_arg =
   Arg.(
@@ -92,32 +152,71 @@ let seeds_arg =
     value & opt int 30
     & info [ "s"; "seeds" ] ~docv:"N" ~doc:"Number of seeds / histories.")
 
+let hints_arg =
+  Arg.(
+    value
+    & opt (enum [ ("on", true); ("off", false) ]) true
+    & info [ "hints" ] ~docv:"on|off"
+        ~doc:
+          "Per-domain predecessor caches (fr-list, fr-skiplist, \
+           lf-hashtable).  $(b,off) recreates the EXP-17 ablation baseline.")
+
+let batch_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "batch" ] ~docv:"N"
+        ~doc:
+          "Issue operations through the batched entry points, $(docv) per \
+           chunk (0 = one at a time; fr-list, fr-skiplist, lf-hashtable).")
+
 let throughput_cmd =
-  let run impl checked domains ops range (ins, del) seed =
-    let (module D : Lf_workload.Runner.INT_DICT) = resolve impl checked in
+  let run impl checked hints batch domains ops range (ins, del) seed =
+    let mix = { Lf_workload.Opgen.insert_pct = ins; delete_pct = del } in
     let r =
-      Lf_workload.Runner.run_throughput
-        (module D)
-        ~domains ~ops_per_domain:ops ~key_range:range
-        ~mix:{ insert_pct = ins; delete_pct = del }
-        ~seed ()
+      if batch <= 0 then
+        let (module D : Lf_workload.Runner.INT_DICT) =
+          resolve impl checked ~hints
+        in
+        Lf_workload.Runner.run_throughput
+          (module D)
+          ~domains ~ops_per_domain:ops ~key_range:range ~mix ~seed ()
+      else begin
+        if checked then (
+          prerr_endline "--batch is not supported together with --checked";
+          exit 2);
+        let (module D : Lf_workload.Runner.INT_DICT_BATCHED) =
+          match List.assoc_opt impl (batched_impls ~hints) with
+          | Some m -> m
+          | None ->
+              Printf.eprintf "--batch is available for: %s\n"
+                (String.concat ", "
+                   (List.map fst (batched_impls ~hints:true)));
+              exit 2
+        in
+        Lf_workload.Runner.run_throughput_batched
+          (module D)
+          ~domains ~ops_per_domain:ops ~batch ~key_range:range ~mix ~seed ()
+      end
     in
     Printf.printf
-      "%s%s: %d ops on %d domains in %.3fs -> %.0f ops/s (structure valid%s)\n"
+      "%s%s%s: %d ops on %d domains in %.3fs -> %.0f ops/s (structure valid%s)\n"
       r.impl
       (if checked then " [checked]" else "")
+      (if batch > 0 then Printf.sprintf " [batch %d]" batch else "")
       r.total_ops r.domains r.elapsed_s r.ops_per_s
       (if checked then ", no protocol violations" else "")
   in
   Cmd.v
     (Cmd.info "throughput" ~doc:"Measure workload throughput.")
     Term.(
-      const run $ impl_arg $ checked_arg $ domains_arg $ ops_arg $ range_arg
-      $ mix_arg $ seed_arg)
+      const run $ impl_arg $ checked_arg $ hints_arg $ batch_arg $ domains_arg
+      $ ops_arg $ range_arg $ mix_arg $ seed_arg)
 
 let check_cmd =
   let run impl checked domains seeds =
-    let (module D : Lf_workload.Runner.INT_DICT) = resolve impl checked in
+    let (module D : Lf_workload.Runner.INT_DICT) =
+      resolve impl checked ~hints:true
+    in
     let failed = ref 0 in
     for seed = 1 to seeds do
       let h =

@@ -31,6 +31,7 @@
 module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
   module BK = Lf_kernel.Ordered.Bounded (K)
   module Ev = Lf_kernel.Mem_event
+  module H = Lf_kernel.Hint.Make (M)
 
   type key = K.t
 
@@ -54,6 +55,8 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     tail : 'a node;
     use_flags : bool;
     mutation : mutation option;
+    hints : 'a node H.t option;
+        (* per-domain predecessor cache; [None] = ablation (hints off) *)
   }
 
   let name = "fr-list"
@@ -92,7 +95,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
         (Lf_kernel.Protocol.Backlink { owner; view = link_view_of n })
     end
 
-  let create_with ?mutation ~use_flags () =
+  let create_with ?mutation ?(use_hints = true) ~use_flags () =
     let tail =
       {
         key = Pos_inf;
@@ -115,7 +118,8 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
       annotate_node ~sentinel:true tail;
       annotate_node ~head:true ~sentinel:true head
     end;
-    { head; tail; use_flags; mutation }
+    let hints = if use_hints then Some (H.create ()) else None in
+    { head; tail; use_flags; mutation; hints }
 
   let create () = create_with ~use_flags:true ()
 
@@ -211,6 +215,64 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     end
     else p
 
+  (* ------------------------------------------------------------------ *)
+  (* Hint-guided search starts (Section 3.2's guarantee, used as an
+     optimization).  A search may begin at any node that (a) was once
+     physically in the list and (b) is currently unmarked with key <= the
+     target (strictly < for the exclusive searches deletions use): an
+     unmarked node is still logically in the list, because physical
+     unlinking requires the mark bit and marking is terminal.  A marked
+     candidate recovers leftward through backlinks exactly as a failed
+     operation would; a Null backlink (never set on honestly marked nodes,
+     but cheap to be total against) falls back to the head. *)
+
+  let rec unmark_left t n =
+    if (M.get n.succ).mark then begin
+      M.event Ev.Backlink_step;
+      match M.get n.backlink with Null -> t.head | Node p -> unmark_left t p
+    end
+    else n
+
+  (* A validated start node for a search with target [kb], or [None] if the
+     candidate (after backlink recovery) is unusable and the search must
+     begin at the head. *)
+  let valid_start t ~inclusive kb cand =
+    let s = unmark_left t cand in
+    if s == t.head then None
+    else if (if inclusive then BK.le s.key kb else BK.lt s.key kb) then Some s
+    else None
+
+  let start_for t ~inclusive kb =
+    match t.hints with
+    | None -> t.head
+    | Some h -> (
+        match H.load h with
+        | None ->
+            H.note_miss h;
+            t.head
+        | Some cand -> (
+            match valid_start t ~inclusive kb cand with
+            | Some s ->
+                H.note_hit h;
+                s
+            | None ->
+                H.note_stale h;
+                (* A stale list hint is a dead or too-far node; drop it so
+                   the next operation does not re-walk its backlinks. *)
+                H.clear h;
+                t.head))
+
+  (* Publish the predecessor an operation ends on as the domain's next
+     hint.  Mutant structures never publish: their seeded protocol bugs can
+     corrupt backlinks, and the sanitizer tests that use them want the
+     honest code paths undisturbed. *)
+  let publish t n =
+    match (t.hints, t.mutation) with
+    | Some h, None when n != t.head -> H.store h n
+    | _ -> ()
+
+  let hint_stats t = Option.map H.totals t.hints
+
   (* TRYFLAG (Fig. 5): flag the predecessor of [target].  Returns
      [(Some prev, true)]  - we placed the flag,
      [(Some prev, false)] - a concurrent deletion already placed it,
@@ -239,17 +301,24 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     in
     loop prev
 
-  (* SEARCH (Fig. 3). *)
+  (* SEARCH (Fig. 3).  Each [*_from] entry point takes a validated start
+     node and returns the operation's result together with a "carry": the
+     node the operation ended next to, which the caller publishes as the
+     domain's next hint (or threads to the next element of a batch). *)
+  let find_from t kb start =
+    let curr, _ = search_from t ~inclusive:true kb start in
+    ((if BK.equal curr.key kb then curr.elt else None), curr)
+
   let find t k =
     let kb = Lf_kernel.Ordered.Mid k in
-    let curr, _ = search_from t ~inclusive:true kb t.head in
-    if BK.equal curr.key kb then curr.elt else None
+    let r, carry = find_from t kb (start_for t ~inclusive:true kb) in
+    publish t carry;
+    r
 
   let mem t k = Option.is_some (find t k)
 
   (* INSERT (Fig. 5). *)
-  let insert t k elt =
-    let kb = Lf_kernel.Ordered.Mid k in
+  let insert_from t kb elt start =
     let rec attempt prev next =
       let ps = M.get prev.succ in
       if ps.flag then begin
@@ -274,7 +343,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
         if
           M.cas prev.succ ~kind:Ev.Insertion ~expect:ps
             { right = Node nn; mark = false; flag = false }
-        then true
+        then (true, nn)
         else recover prev
       end
     and recover prev =
@@ -288,21 +357,36 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
       relocate (backtrack prev)
     and relocate prev =
       let prev, next = search_from t ~inclusive:true kb prev in
-      if BK.equal prev.key kb then false else attempt prev next
+      if BK.equal prev.key kb then (false, prev) else attempt prev next
     in
-    relocate t.head
+    relocate start
 
-  (* DELETE (Fig. 4), three-step protocol. *)
-  let delete_flagged t kb =
-    let prev, del = search_from t ~inclusive:false kb t.head in
-    if not (BK.equal del.key kb) then false
+  let insert t k elt =
+    let kb = Lf_kernel.Ordered.Mid k in
+    let ok, carry = insert_from t kb elt (start_for t ~inclusive:true kb) in
+    publish t carry;
+    ok
+
+  (* DELETE (Fig. 4), three-step protocol.  The carry is the predecessor
+     (key strictly below [kb]), usable by both inclusive and exclusive
+     follow-up searches. *)
+  let delete_flagged_from t kb start =
+    let prev, del = search_from t ~inclusive:false kb start in
+    if not (BK.equal del.key kb) then (false, prev)
     else begin
       let prev_opt, result = try_flag t prev del in
       (match prev_opt with
       | Some prev -> help_flagged t prev del
       | None -> ());
-      result
+      (result, prev)
     end
+
+  let delete_flagged t kb =
+    let ok, carry =
+      delete_flagged_from t kb (start_for t ~inclusive:false kb)
+    in
+    publish t carry;
+    ok
 
   (* Flagless ablation (EXP-8): Harris-style two-step deletion that still
      sets backlinks.  Because the predecessor is not pinned, a backlink can
@@ -384,6 +468,62 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     match t.mutation with
     | Some m -> delete_mutant t m kb
     | None -> if t.use_flags then delete_flagged t kb else delete_flagless t kb
+
+  (* ------------------------------------------------------------------ *)
+  (* Batched operations (the Traeff-Poeter "pragmatic" pattern): process
+     the batch in key order, carrying each element's end-of-operation
+     predecessor as the next element's search start.  The carry is
+     re-validated exactly like a hint (a concurrent deletion may mark it
+     between elements), so batches are safe under full concurrency;
+     results come back in the caller's original order. *)
+  let run_batch t ~inclusive ~key_of ~f elems =
+    let arr = Array.of_list elems in
+    let n = Array.length arr in
+    let order = Array.init n Fun.id in
+    Array.sort
+      (fun i j ->
+        let c = K.compare (key_of arr.(i)) (key_of arr.(j)) in
+        if c <> 0 then c else Int.compare i j)
+      order;
+    let results = Array.make n false in
+    let carry = ref t.head in
+    Array.iter
+      (fun i ->
+        let kb = Lf_kernel.Ordered.Mid (key_of arr.(i)) in
+        let start =
+          match valid_start t ~inclusive kb !carry with
+          | Some s -> s
+          | None -> t.head
+        in
+        let ok, c = f kb arr.(i) start in
+        results.(i) <- ok;
+        carry := c)
+      order;
+    publish t !carry;
+    Array.to_list results
+
+  let insert_batch t kvs =
+    run_batch t ~inclusive:true ~key_of:fst
+      ~f:(fun kb (_, e) start -> insert_from t kb e start)
+      kvs
+
+  let mem_batch t ks =
+    run_batch t ~inclusive:true ~key_of:Fun.id
+      ~f:(fun kb _ start ->
+        let r, c = find_from t kb start in
+        (Option.is_some r, c))
+      ks
+
+  let delete_batch t ks =
+    match (t.mutation, t.use_flags) with
+    | Some _, _ | None, false ->
+        (* Ablation / mutant deletions have no [_from] variant; fall back
+           to the per-element path. *)
+        List.map (delete t) ks
+    | None, true ->
+        run_batch t ~inclusive:false ~key_of:Fun.id
+          ~f:(fun kb _ start -> delete_flagged_from t kb start)
+          ks
 
   (* Successor query: the smallest regular binding with key >= [k].  If the
      candidate is marked (logically deleted), help its physical deletion and

@@ -41,14 +41,21 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
 
   val create : unit -> 'a t
 
-  val create_with : ?mutation:mutation -> use_flags:bool -> unit -> 'a t
+  val create_with :
+    ?mutation:mutation -> ?use_hints:bool -> use_flags:bool -> unit -> 'a t
   (** [create_with ~use_flags:false] builds the EXP-8 ablation variant:
       two-step Harris-style deletion that still sets backlinks but never
       flags the predecessor.  It is correct but loses the guarantee that
       backlinks point at unmarked nodes — the pathology flags exist to
       prevent.  The ablation is not annotated for checked memories, unlike
       the [use_flags:true] variants (mutated or not).
-      [create () = create_with ~use_flags:true ()]. *)
+
+      [use_hints] (default [true]) enables the per-domain predecessor
+      cache: each operation starts its search from the last node the
+      calling domain ended on, validated per Section 3.2 (unmarked, key
+      below the target; marked hints recover through backlinks, unusable
+      ones fall back to the head).  [~use_hints:false] is the EXP-17
+      ablation.  [create () = create_with ~use_flags:true ()]. *)
 
   (** {1 Dictionary operations (Figures 3-5)} *)
 
@@ -63,6 +70,24 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
   val delete : 'a t -> key -> bool
   (** DELETE: [false] on NO_SUCH_KEY.  Exactly one of several racing
       deletions of the same node reports success. *)
+
+  (** {1 Batched operations}
+
+      The Träff–Pöter "pragmatic" pattern: the batch is processed in key
+      order and each element's end-of-search predecessor is carried (after
+      hint-style re-validation) as the next element's start, so a batch of
+      b nearby keys pays one head-to-region walk instead of b.  Results are
+      in the caller's original order.  Linearizable per element — each
+      element is an independent operation that takes effect at its own
+      linearization point somewhere inside the batch call. *)
+
+  val insert_batch : 'a t -> (key * 'a) list -> bool list
+  val delete_batch : 'a t -> key list -> bool list
+  val mem_batch : 'a t -> key list -> bool list
+
+  val hint_stats : 'a t -> Lf_kernel.Hint.stats option
+  (** Summed hint-cache counters ([None] when hints are off).  Quiescent
+      use only. *)
 
   (** {1 Order-aware operations} *)
 

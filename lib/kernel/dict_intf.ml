@@ -37,3 +37,16 @@ end
 
 module type MAKER = functor (K : Ordered.S) (M : Mem.S) ->
   S with type key = K.t
+
+(* Dictionaries that additionally support batched operations: the batch is
+   processed in key order, each element carrying its predecessor to the
+   next (the Traeff-Poeter "pragmatic" pattern).  Results are in the
+   caller's original order; every element remains an independent
+   linearizable operation. *)
+module type BATCHED = sig
+  include S
+
+  val insert_batch : 'a t -> (key * 'a) list -> bool list
+  val delete_batch : 'a t -> key list -> bool list
+  val mem_batch : 'a t -> key list -> bool list
+end

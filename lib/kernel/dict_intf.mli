@@ -40,3 +40,16 @@ end
 
 module type MAKER = functor (K : Ordered.S) (M : Mem.S) ->
   S with type key = K.t
+
+(** Dictionaries that additionally support batched operations: the batch is
+    processed in key order, each element carrying its predecessor to the
+    next (the Träff–Pöter "pragmatic" pattern).  Results come back in the
+    caller's original order; every element remains an independent
+    linearizable operation that takes effect inside the batch call. *)
+module type BATCHED = sig
+  include S
+
+  val insert_batch : 'a t -> (key * 'a) list -> bool list
+  val delete_batch : 'a t -> key list -> bool list
+  val mem_batch : 'a t -> key list -> bool list
+end

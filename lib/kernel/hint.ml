@@ -1,0 +1,99 @@
+(* Per-domain predecessor cache ("hint") for hint-guided searches.
+
+   The paper's SEARCHFROM (Section 3.2) may start at any node that is
+   unmarked and has key <= the target: an unmarked node that was once in
+   the list is still logically in it (physical unlinking requires the mark
+   bit, and marking is terminal), and a node found marked recovers through
+   its backlink chain.  A cache of the last predecessor each domain
+   touched is therefore a pure optimization: the structure validates every
+   hint before use, and a hint that fails validation merely costs the
+   fallback to the head.
+
+   One cache instance belongs to one structure instance.  The slot is
+   domain-local (no synchronization on the hot path); a lock-free registry
+   collects per-domain statistics for the benches, mirroring
+   [Counting_mem].  Cached values are ordinary heap pointers: under a
+   simulated memory all processes share the one real domain's slot, which
+   is still safe (validation) and still deterministic (the slot belongs to
+   the structure, which Explore recreates per schedule). *)
+
+type stats = {
+  mutable hits : int;  (** hint validated and used as the search start *)
+  mutable stale : int;  (** hint present but failed validation *)
+  mutable misses : int;  (** no hint cached in this domain yet *)
+  mutable stores : int;  (** publications of a fresh predecessor *)
+}
+
+let mk_stats () = { hits = 0; stale = 0; misses = 0; stores = 0 }
+
+let add_stats ~into s =
+  into.hits <- into.hits + s.hits;
+  into.stale <- into.stale + s.stale;
+  into.misses <- into.misses + s.misses;
+  into.stores <- into.stores + s.stores
+
+module Make (M : Mem.S) = struct
+  type 'a slot = { mutable value : 'a option; stats : stats }
+
+  type 'a t = {
+    key : 'a slot Domain.DLS.key;
+    registry : (int * stats) list Atomic.t;
+  }
+
+  let register registry st =
+    let id = (Domain.self () :> int) in
+    let rec add () =
+      let old = Atomic.get registry in
+      if not (Atomic.compare_and_set registry old ((id, st) :: old)) then
+        add ()
+    in
+    add ()
+
+  let create () =
+    let registry = Atomic.make [] in
+    let key =
+      Domain.DLS.new_key (fun () ->
+          let st = mk_stats () in
+          register registry st;
+          { value = None; stats = st })
+    in
+    { key; registry }
+
+  let slot t = Domain.DLS.get t.key
+  let load t = (slot t).value
+
+  (* Preallocated so the hot path never builds a string. *)
+  let ev_store = Mem_event.User "hint:store"
+  let ev_hit = Mem_event.User "hint:hit"
+  let ev_stale = Mem_event.User "hint:stale"
+  let ev_miss = Mem_event.User "hint:miss"
+
+  let store t v =
+    let s = slot t in
+    s.value <- Some v;
+    s.stats.stores <- s.stats.stores + 1;
+    M.event ev_store
+
+  let clear t = (slot t).value <- None
+
+  let note_hit t =
+    let s = slot t in
+    s.stats.hits <- s.stats.hits + 1;
+    M.event ev_hit
+
+  let note_stale t =
+    let s = slot t in
+    s.stats.stale <- s.stats.stale + 1;
+    M.event ev_stale
+
+  let note_miss t =
+    let s = slot t in
+    s.stats.misses <- s.stats.misses + 1;
+    M.event ev_miss
+
+  (* Quiescent use only, like [Counting_mem.grand_total]. *)
+  let totals t =
+    let total = mk_stats () in
+    List.iter (fun (_, s) -> add_stats ~into:total s) (Atomic.get t.registry);
+    total
+end

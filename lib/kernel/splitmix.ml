@@ -45,3 +45,13 @@ let float t =
   *. (1.0 /. 9007199254740992.0)
 
 let bool t = Int64.logand (next_int64 t) 1L = 1L
+
+(* One independent generator per domain, lazily created from [salt] and the
+   domain id.  Keeps raw [Domain.DLS] confined to the kernel (the lint's
+   no-raw-dls rule) while letting each structure pick its own stream. *)
+let domain_local salt =
+  let key =
+    Domain.DLS.new_key (fun () -> create (salt * ((Domain.self () :> int) + 1)))
+  in
+  fun () -> Domain.DLS.get key
+

@@ -26,3 +26,9 @@ val float : t -> float
 (** Uniform in [\[0, 1)]. *)
 
 val bool : t -> bool
+
+val domain_local : int -> unit -> t
+(** [domain_local salt] is a function returning the calling domain's own
+    generator, created on first use from [salt] and the domain id.  The
+    blessed way for code outside [lib/kernel] to get per-domain randomness
+    without touching [Domain.DLS] directly. *)

@@ -17,10 +17,26 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
 
   type 'a t = 'a SL.t
 
-  let create ?(max_level = 24) () = SL.create_with ~max_level ()
+  let create ?(max_level = 24) ?(use_hints = true) () =
+    SL.create_with ~max_level ~use_hints ()
 
   let push t prio v = SL.insert t prio v
   let pop_min t = SL.delete_min t
+
+  (* Batched push (the skip list's key-ordered carry applies); results in
+     input order.  [pop_min_batch] pops up to [n] elements, smallest first;
+     each pop claims its element exactly once, as in the unbatched case. *)
+  let push_batch t pvs = SL.insert_batch t pvs
+
+  let pop_min_batch t n =
+    let rec go acc n =
+      if n <= 0 then List.rev acc
+      else
+        match SL.delete_min t with
+        | None -> List.rev acc
+        | Some kv -> go (kv :: acc) (n - 1)
+    in
+    go [] n
 
   let peek_min t =
     match SL.to_list t with [] -> None | (k, v) :: _ -> Some (k, v)
@@ -46,7 +62,8 @@ module Stamped (M : Lf_kernel.Mem.S) = struct
 
   type 'a t = { q : 'a Q.t; stamp : int Atomic.t }
 
-  let create ?max_level () = { q = Q.create ?max_level (); stamp = Atomic.make 0 }
+  let create ?max_level ?use_hints () =
+    { q = Q.create ?max_level ?use_hints (); stamp = Atomic.make 0 }
 
   let push t prio v =
     let s = Atomic.fetch_and_add t.stamp 1 in
@@ -58,6 +75,17 @@ module Stamped (M : Lf_kernel.Mem.S) = struct
     match Q.pop_min t.q with
     | None -> None
     | Some ((prio, _), v) -> Some (prio, v)
+
+  let push_batch t pvs =
+    let stamped =
+      List.map
+        (fun (prio, v) -> ((prio, Atomic.fetch_and_add t.stamp 1), v))
+        pvs
+    in
+    List.iter (fun ok -> assert ok) (Q.push_batch t.q stamped)
+
+  let pop_min_batch t n =
+    List.map (fun ((prio, _), v) -> (prio, v)) (Q.pop_min_batch t.q n)
 
   let is_empty t = Q.is_empty t.q
   let length t = Q.length t.q

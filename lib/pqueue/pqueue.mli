@@ -11,13 +11,24 @@
 module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
   type 'a t
 
-  val create : ?max_level:int -> unit -> 'a t
+  val create : ?max_level:int -> ?use_hints:bool -> unit -> 'a t
+  (** [use_hints] (default [true]) is forwarded to the underlying skip list
+      (per-domain tower-path caches; see [Fr_skiplist.create_with]). *)
 
   val push : 'a t -> K.t -> 'a -> bool
   (** [false] if this priority is already queued. *)
 
   val pop_min : 'a t -> (K.t * 'a) option
   val peek_min : 'a t -> (K.t * 'a) option
+
+  val push_batch : 'a t -> (K.t * 'a) list -> bool list
+  (** Batched push via the skip list's key-ordered predecessor carrying;
+      results in input order. *)
+
+  val pop_min_batch : 'a t -> int -> (K.t * 'a) list
+  (** Pop up to [n] elements, smallest first; each element is claimed by
+      exactly one caller, as in the unbatched {!pop_min}. *)
+
   val is_empty : 'a t -> bool
   val length : 'a t -> int
 end
@@ -28,9 +39,15 @@ end
 module Stamped (M : Lf_kernel.Mem.S) : sig
   type 'a t
 
-  val create : ?max_level:int -> unit -> 'a t
+  val create : ?max_level:int -> ?use_hints:bool -> unit -> 'a t
   val push : 'a t -> int -> 'a -> unit
   val pop_min : 'a t -> (int * 'a) option
+
+  val push_batch : 'a t -> (int * 'a) list -> unit
+  (** Stamp then batch-insert; stamps are unique so no push can fail. *)
+
+  val pop_min_batch : 'a t -> int -> (int * 'a) list
+
   val is_empty : 'a t -> bool
   val length : 'a t -> int
 end

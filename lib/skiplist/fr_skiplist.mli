@@ -29,11 +29,20 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
   (** [create_with ~max_level:24 ~help_superfluous:true ()]. *)
 
   val create_with :
-    ?max_level:int -> ?help_superfluous:bool -> unit -> 'a t
+    ?max_level:int -> ?help_superfluous:bool -> ?use_hints:bool -> unit -> 'a t
   (** [~help_superfluous:false] is the EXP-9 ablation: searches traverse
       superfluous towers instead of deleting them, and deletions skip the
       upper-level cleanup.  Only safe when keys are never reinserted (a
-      stale same-key upper node would block a new tower forever). *)
+      stale same-key upper node would block a new tower forever).
+
+      [use_hints] (default [true]) enables per-domain tower-path caching
+      (Foresight-style): each search starts from the calling domain's last
+      recorded per-level positions, validated per Section 3.2 before use
+      (unmarked at that level with key below the target; marked entries
+      recover through backlinks, unusable ones fall back to that level's
+      head), and an insertion's upper-level searches reuse the tower path
+      its own lower levels just recorded.  [~use_hints:false] is the EXP-17
+      ablation. *)
 
   (** {1 Dictionary operations (SEARCH_SL / INSERT_SL / DELETE_SL)} *)
 
@@ -55,6 +64,23 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
       (Lotan-Shavit style priority-queue removal).  Quiescently consistent:
       a racing smaller insert may be missed; each element is claimed by
       exactly one caller. *)
+
+  (** {1 Batched operations}
+
+      The Träff–Pöter "pragmatic" pattern: the batch is processed in key
+      order threading one private tower path, so a batch of b nearby keys
+      descends from the top once and then crawls right.  Results are in
+      the caller's original order; each element is an independent
+      linearizable operation that takes effect inside the batch call. *)
+
+  val insert_batch : 'a t -> (key * 'a) list -> bool list
+  val delete_batch : 'a t -> key list -> bool list
+  val mem_batch : 'a t -> key list -> bool list
+
+  val hint_stats : 'a t -> Lf_kernel.Hint.stats option
+  (** Summed hint-cache counters ([None] when hints are off).  A "hit" is a
+      search that adopted at least one cached level entry; "stale" means a
+      path existed but no entry survived validation.  Quiescent use only. *)
 
   (** {1 Order-aware operations} *)
 

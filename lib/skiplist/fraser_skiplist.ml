@@ -29,9 +29,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
 
   let name = "fraser-skiplist"
 
-  let rng_key =
-    Domain.DLS.new_key (fun () ->
-        Lf_kernel.Splitmix.create (0xf5a *  ((Domain.self () :> int) + 1)))
+  let rng = Lf_kernel.Splitmix.domain_local 0xf5a
 
   let create_with ?(max_level = 24) () =
     let tail =
@@ -144,7 +142,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
 
   let mem t k = Option.is_some (find t k)
 
-  let flip () = Lf_kernel.Splitmix.bool (Domain.DLS.get rng_key)
+  let flip () = Lf_kernel.Splitmix.bool (rng ())
 
   let random_height t =
     let rec go h = if h < t.max_level && flip () then go (h + 1) else h in

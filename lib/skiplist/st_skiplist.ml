@@ -35,9 +35,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
 
   let name = "st-skiplist"
 
-  let rng_key =
-    Domain.DLS.new_key (fun () ->
-        Lf_kernel.Splitmix.create (0x57 * ((Domain.self () :> int) + 1)))
+  let rng = Lf_kernel.Splitmix.domain_local 0x57
 
   let create_with ?(max_level = 24) () =
     let tail =
@@ -152,7 +150,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
 
   let mem t k = Option.is_some (find t k)
 
-  let flip () = Lf_kernel.Splitmix.bool (Domain.DLS.get rng_key)
+  let flip () = Lf_kernel.Splitmix.bool (rng ())
 
   let random_height t =
     let rec go h = if h < t.max_level && flip () then go (h + 1) else h in

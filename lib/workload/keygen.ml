@@ -4,13 +4,19 @@
 
 type t =
   | Uniform of int (* range [0, n) *)
-  | Hotspot of { range : int; hot : int; hot_pct : int }
-      (* hot_pct% of draws land uniformly in [0, hot), rest in [0, range) *)
+  | Hotspot of { range : int; hot : int; hot_pct : int; base : int }
+      (* hot_pct% of draws land uniformly in [base, base + hot), rest in
+         [0, range).  A nonzero [base] parks the hot window away from the
+         front of the key space, so hint-guided searches (EXP-17) cannot
+         win just because the hot keys sit next to the head. *)
   | Zipf of { range : int; theta : float }
   | Ascending of int ref (* each draw returns the next integer *)
 
 let uniform range = Uniform range
-let hotspot ~range ~hot ~hot_pct = Hotspot { range; hot; hot_pct }
+let hotspot ?(base = 0) ~range ~hot ~hot_pct () =
+  if base < 0 || base + hot > range then
+    invalid_arg "Keygen.hotspot: hot window outside the key range";
+  Hotspot { range; hot; hot_pct; base }
 let ascending () = Ascending (ref 0)
 
 (* Zipf via the standard CDF-inversion approximation (Gray et al.); theta in
@@ -45,9 +51,9 @@ let zipf ~range ~theta =
 let draw t rng =
   match t with
   | Uniform n -> Lf_kernel.Splitmix.int rng n
-  | Hotspot { range; hot; hot_pct } ->
+  | Hotspot { range; hot; hot_pct; base } ->
       if Lf_kernel.Splitmix.int rng 100 < hot_pct then
-        Lf_kernel.Splitmix.int rng hot
+        base + Lf_kernel.Splitmix.int rng hot
       else Lf_kernel.Splitmix.int rng range
   | Zipf { range; theta } ->
       let s = zipf_state ~range ~theta in

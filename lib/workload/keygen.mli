@@ -5,9 +5,12 @@ type t
 val uniform : int -> t
 (** Uniform over [\[0, range)]. *)
 
-val hotspot : range:int -> hot:int -> hot_pct:int -> t
-(** [hot_pct]% of draws land uniformly in [\[0, hot)], the rest in
-    [\[0, range)]. *)
+val hotspot : ?base:int -> range:int -> hot:int -> hot_pct:int -> unit -> t
+(** [hot_pct]% of draws land uniformly in [\[base, base + hot)] (default
+    [base = 0]), the rest in [\[0, range)].  A nonzero [base] parks the hot
+    window away from the front of the key space (EXP-17 uses the middle, so
+    hint wins cannot come from the hot keys sitting next to the head).
+    @raise Invalid_argument if the hot window exceeds the range. *)
 
 val zipf : range:int -> theta:float -> t
 (** Zipf-like skew via the standard CDF-inversion approximation; [theta] in

@@ -8,6 +8,7 @@
    claims live in the simulator experiments instead (see DESIGN.md). *)
 
 module type INT_DICT = Lf_kernel.Dict_intf.S with type key = int
+module type INT_DICT_BATCHED = Lf_kernel.Dict_intf.BATCHED with type key = int
 
 type throughput = {
   impl : string;
@@ -39,14 +40,19 @@ let prefill ~key_range ~fill ~seed (insert : int -> bool) =
   in
   go 0
 
-let run_throughput (module D : INT_DICT) ~domains ~ops_per_domain ~key_range
-    ~(mix : Opgen.mix) ~seed () : throughput =
+let run_throughput ?keygen (module D : INT_DICT) ~domains ~ops_per_domain
+    ~key_range ~(mix : Opgen.mix) ~seed () : throughput =
+  let keygen_for =
+    match keygen with
+    | Some f -> f
+    | None -> fun _did -> Keygen.uniform key_range
+  in
   let t = D.create () in
   prefill ~key_range ~fill:50 ~seed:((seed * 7) + 1) (fun k -> D.insert t k k);
   let enter = barrier domains in
   let work did =
     let rng = Lf_kernel.Splitmix.create (seed + (1000 * did)) in
-    let keygen = Keygen.uniform key_range in
+    let keygen = keygen_for did in
     enter ();
     for _ = 1 to ops_per_domain do
       match Opgen.draw mix keygen rng with
@@ -57,6 +63,59 @@ let run_throughput (module D : INT_DICT) ~domains ~ops_per_domain ~key_range
   in
   let t0 = now () in
   let ds = List.init (domains - 1) (fun i -> Domain.spawn (fun () -> work (i + 1))) in
+  work 0;
+  List.iter Domain.join ds;
+  let elapsed = now () -. t0 in
+  D.check_invariants t;
+  let total = domains * ops_per_domain in
+  {
+    impl = D.name;
+    domains;
+    total_ops = total;
+    elapsed_s = elapsed;
+    ops_per_s = float_of_int total /. elapsed;
+  }
+
+(* Batched variant: the operation stream is consumed [batch] ops at a
+   time; each chunk is partitioned by kind and issued through the batched
+   entry points, which sort by key and carry predecessors element to
+   element. *)
+let run_throughput_batched ?keygen (module D : INT_DICT_BATCHED) ~domains
+    ~ops_per_domain ~batch ~key_range ~(mix : Opgen.mix) ~seed () :
+    throughput =
+  if batch <= 0 then invalid_arg "run_throughput_batched: batch must be > 0";
+  let keygen_for =
+    match keygen with
+    | Some f -> f
+    | None -> fun _did -> Keygen.uniform key_range
+  in
+  let t = D.create () in
+  prefill ~key_range ~fill:50 ~seed:((seed * 7) + 1) (fun k -> D.insert t k k);
+  let enter = barrier domains in
+  let work did =
+    let rng = Lf_kernel.Splitmix.create (seed + (1000 * did)) in
+    let keygen = keygen_for did in
+    enter ();
+    let remaining = ref ops_per_domain in
+    while !remaining > 0 do
+      let b = min batch !remaining in
+      remaining := !remaining - b;
+      let ins = ref [] and del = ref [] and fnd = ref [] in
+      for _ = 1 to b do
+        match Opgen.draw mix keygen rng with
+        | Insert k -> ins := (k, k) :: !ins
+        | Delete k -> del := k :: !del
+        | Find k -> fnd := k :: !fnd
+      done;
+      (match !ins with [] -> () | l -> ignore (D.insert_batch t l));
+      (match !del with [] -> () | l -> ignore (D.delete_batch t l));
+      (match !fnd with [] -> () | l -> ignore (D.mem_batch t l))
+    done
+  in
+  let t0 = now () in
+  let ds =
+    List.init (domains - 1) (fun i -> Domain.spawn (fun () -> work (i + 1)))
+  in
   work 0;
   List.iter Domain.join ds;
   let elapsed = now () -. t0 in

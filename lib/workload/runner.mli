@@ -7,6 +7,7 @@
     robustness to preemption rather than parallel speedup (DESIGN.md). *)
 
 module type INT_DICT = Lf_kernel.Dict_intf.S with type key = int
+module type INT_DICT_BATCHED = Lf_kernel.Dict_intf.BATCHED with type key = int
 
 type throughput = {
   impl : string;
@@ -21,6 +22,7 @@ val prefill : key_range:int -> fill:int -> seed:int -> (int -> bool) -> unit
     holds [fill]% of [key_range] distinct keys. *)
 
 val run_throughput :
+  ?keygen:(int -> Keygen.t) ->
   (module INT_DICT) ->
   domains:int ->
   ops_per_domain:int ->
@@ -30,7 +32,24 @@ val run_throughput :
   unit ->
   throughput
 (** Prefill to 50%, barrier-start [domains] domains, run the mix, join,
-    validate invariants, report ops/s. *)
+    validate invariants, report ops/s.  [keygen] maps a domain index to its
+    key generator (default: uniform over [\[0, key_range)]); each domain
+    must get its own generator, since generators are not thread-safe. *)
+
+val run_throughput_batched :
+  ?keygen:(int -> Keygen.t) ->
+  (module INT_DICT_BATCHED) ->
+  domains:int ->
+  ops_per_domain:int ->
+  batch:int ->
+  key_range:int ->
+  mix:Opgen.mix ->
+  seed:int ->
+  unit ->
+  throughput
+(** As {!run_throughput}, but the op stream is issued [batch] operations at
+    a time through the batched entry points (chunks partitioned by kind).
+    @raise Invalid_argument if [batch <= 0]. *)
 
 val run_recorded :
   (module INT_DICT) ->

@@ -16,13 +16,18 @@ type ops = {
 (* Run [procs] processes, each performing [ops_per_proc] operations.
    [initial_size] is the number of keys already in the structure (from a
    prefill), so that n(S) is accounted correctly. *)
-let run_mixed ?(policy = Lf_dsim.Sim.Random 1) ?(initial_size = 0) ~procs
-    ~ops_per_proc ~key_range ~(mix : Opgen.mix) ~seed (ops : ops) :
+let run_mixed ?(policy = Lf_dsim.Sim.Random 1) ?(initial_size = 0) ?keygen
+    ~procs ~ops_per_proc ~key_range ~(mix : Opgen.mix) ~seed (ops : ops) :
     Lf_dsim.Sim.result =
+  let keygen_for =
+    match keygen with
+    | Some f -> f
+    | None -> fun _pid -> Keygen.uniform key_range
+  in
   let size = ref initial_size in
   let body pid =
     let rng = Lf_kernel.Splitmix.create (seed + (7919 * pid)) in
-    let keygen = Keygen.uniform key_range in
+    let keygen = keygen_for pid in
     for _ = 1 to ops_per_proc do
       let op = Opgen.draw mix keygen rng in
       Lf_dsim.Sim.op_begin ~n:!size;

@@ -15,6 +15,7 @@ type ops = {
 val run_mixed :
   ?policy:Lf_dsim.Sim.policy ->
   ?initial_size:int ->
+  ?keygen:(int -> Keygen.t) ->
   procs:int ->
   ops_per_proc:int ->
   key_range:int ->
@@ -24,7 +25,10 @@ val run_mixed :
   Lf_dsim.Sim.result
 (** Run [procs] processes, each performing [ops_per_proc] operations.
     [initial_size] is the number of keys already present (from
-    {!prefill}). *)
+    {!prefill}).  [keygen] maps a process id to its key generator
+    (default: every process draws uniformly from [\[0, key_range)]); pass
+    a closure returning one shared [Keygen.ascending ()] for the global
+    ascending-key workload. *)
 
 val prefill : key_range:int -> count:int -> seed:int -> ops -> int
 (** Insert [count] distinct keys via a single simulated process; returns

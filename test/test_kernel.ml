@@ -204,7 +204,7 @@ let test_keygen_uniform_range () =
 
 let test_keygen_hotspot_bias () =
   let rng = SM.create 4 in
-  let g = Lf_workload.Keygen.hotspot ~range:1000 ~hot:10 ~hot_pct:90 in
+  let g = Lf_workload.Keygen.hotspot ~range:1000 ~hot:10 ~hot_pct:90 () in
   let hot = ref 0 in
   let n = 10_000 in
   for _ = 1 to n do

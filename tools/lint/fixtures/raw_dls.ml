@@ -1,0 +1,16 @@
+(* Fixture for [no-raw-dls]: raw [Domain.DLS] must be reported outside
+   [lib/kernel/] in every position — value uses, the bare module, and the
+   [Domain.DLS.key] type constructor.  [Lf_kernel.Hint] itself lives in
+   lib/kernel and is therefore path-exempt, not waived. *)
+
+let key = Domain.DLS.new_key (fun () -> 0) (* EXPECT: no-raw-dls *)
+let read () = Domain.DLS.get key (* EXPECT: no-raw-dls *)
+let write v = Domain.DLS.set key v (* EXPECT: no-raw-dls *)
+
+type holder = { slot : int Domain.DLS.key } (* EXPECT: no-raw-dls *)
+
+module Dls = Domain.DLS (* EXPECT: no-raw-dls *)
+
+(* The seam equivalents are fine: no marker on these lines. *)
+let rng = Lf_kernel.Splitmix.domain_local 0x1234
+let _ = (read, write, rng)

@@ -1,12 +1,19 @@
 (* Source-level concurrency lint over the compiler-libs parsetree.
 
-   Three rules, each motivated by a class of bug that type-checks fine but
+   Four rules, each motivated by a class of bug that type-checks fine but
    breaks the lock-free structures at runtime:
 
    - [no-raw-atomic]: every shared cell must go through the [Lf_kernel.Mem.S]
      seam.  A raw [Atomic.t] outside [lib/kernel/] is invisible to
      [Check_mem] / [Race_mem] / [Sim_mem], so the sanitizers, the race
      detector and the schedule explorer silently under-approximate.
+
+   - [no-raw-dls]: domain-local state must also stay behind the kernel
+     seam.  Raw [Domain.DLS] outside [lib/kernel/] bypasses [Lf_kernel.Hint]
+     (validated per-domain predecessor caches) and
+     [Lf_kernel.Splitmix.domain_local] (per-domain RNGs), so it is invisible
+     to hint accounting and easy to get wrong under the simulator, where
+     every process shares one domain.
 
    - [no-obj-magic]: never acceptable in this tree.
 
@@ -23,13 +30,16 @@
 type violation = { file : string; line : int; rule : string; message : string }
 
 let rule_raw_atomic = "no-raw-atomic"
+let rule_raw_dls = "no-raw-dls"
 let rule_obj_magic = "no-obj-magic"
 let rule_poly_compare = "no-poly-compare"
 let rule_parse_error = "parse-error"
 
 (* Directories where shared cells are allowed to be raw atomics: the kernel
    implements the seam itself; tests, examples and this tool are harness
-   code, not structure code. *)
+   code, not structure code.  The same scoping applies to raw [Domain.DLS]
+   ([Lf_kernel.Hint] and [Splitmix.domain_local] are the kernel's own
+   implementations of the seam). *)
 let atomic_exempt_prefixes = [ "lib/kernel/"; "test/"; "examples/"; "tools/" ]
 
 (* Libraries that define node types with succ/backlink pointers. *)
@@ -73,8 +83,8 @@ let rule_active ~all path rule =
   all
   || (not (waived path rule))
      &&
-     if String.equal rule rule_raw_atomic then
-       not (has_prefix path atomic_exempt_prefixes)
+     if String.equal rule rule_raw_atomic || String.equal rule rule_raw_dls
+     then not (has_prefix path atomic_exempt_prefixes)
      else if String.equal rule rule_poly_compare then
        has_prefix path poly_scope_prefixes
      else true
@@ -101,6 +111,18 @@ let is_literalish (e : expression) =
 let atomic_msg =
   "raw Atomic outside lib/kernel; route shared cells through Lf_kernel.Mem.S \
    so checked memories observe the access"
+
+(* [Domain.DLS] anywhere on the path spine: [Domain.DLS.get], a bare
+   [Domain.DLS], ['a Domain.DLS.key], ... *)
+let rec lid_is_dls = function
+  | Longident.Ldot (Longident.Lident "Domain", "DLS") -> true
+  | Longident.Ldot (l, _) | Longident.Lapply (l, _) -> lid_is_dls l
+  | Longident.Lident _ -> false
+
+let dls_msg =
+  "raw Domain.DLS outside lib/kernel; use Lf_kernel.Hint (validated \
+   per-domain caches) or Lf_kernel.Splitmix.domain_local (per-domain RNGs) \
+   so domain-local state stays behind the kernel seam"
 
 let poly_msg what =
   what
@@ -129,6 +151,7 @@ let check_file ~all path =
   let check_ident lid (loc : Location.t) args =
     if String.equal (root_of_lid lid) "Atomic" then
       report loc rule_raw_atomic atomic_msg;
+    if lid_is_dls lid then report loc rule_raw_dls dls_msg;
     (match lid with
     | Longident.Ldot (Lident "Obj", "magic") ->
         report loc rule_obj_magic
@@ -178,6 +201,8 @@ let check_file ~all path =
           | Pmod_ident { txt; loc } when String.equal (root_of_lid txt) "Atomic"
             ->
               report loc rule_raw_atomic atomic_msg
+          | Pmod_ident { txt; loc } when lid_is_dls txt ->
+              report loc rule_raw_dls dls_msg
           | _ -> ());
           default.module_expr it me);
       typ =
@@ -186,6 +211,8 @@ let check_file ~all path =
           | Ptyp_constr ({ txt; loc }, _)
             when String.equal (root_of_lid txt) "Atomic" ->
               report loc rule_raw_atomic atomic_msg
+          | Ptyp_constr ({ txt; loc }, _) when lid_is_dls txt ->
+              report loc rule_raw_dls dls_msg
           | _ -> ());
           default.typ it ty);
     }
