@@ -9,7 +9,7 @@
      --json <dir>   also write machine-readable BENCH_<exp>.json per
                     experiment into <dir> (created if absent)
      --quick        smaller op counts (CI smoke); honored by the
-                    experiments that expose it (exp17) *)
+                    experiments that expose it (exp17, exp18) *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -31,6 +31,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("exp15", "skip-list recovery classes", fun () -> Exp15.run ());
     ("exp16", "protocol-sanitizer overhead", fun () -> ignore (Exp16.run ()));
     ("exp17", "hint-guided searches + batches", fun () -> ignore (Exp17.run ()));
+    ("exp18", "graceful degradation under faults", fun () -> ignore (Exp18.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 

@@ -3,6 +3,7 @@
    Subcommands:
      throughput  run a workload against an implementation and report ops/s
      check       record concurrent histories and check linearizability
+     chaos       run a workload under an injected-fault plan (--faults)
      list        show the available implementations
 
    Examples:
@@ -10,7 +11,9 @@
      dune exec bin/lfdict.exe -- throughput -i fr-skiplist -d 4 -n 100000
      dune exec bin/lfdict.exe -- throughput -i fr-list --hints off
      dune exec bin/lfdict.exe -- throughput -i lf-hashtable --batch 64
-     dune exec bin/lfdict.exe -- check -i fr-list -s 50 *)
+     dune exec bin/lfdict.exe -- check -i fr-list -s 50
+     dune exec bin/lfdict.exe -- chaos -i fr-list \
+       --faults "seed=7;crash:after-flag-cas:at=1:lane=0" *)
 
 open Cmdliner
 
@@ -241,6 +244,107 @@ let check_cmd =
     (Cmd.info "check" ~doc:"Record histories and check linearizability.")
     Term.(const run $ impl_arg $ checked_arg $ domains_arg $ seeds_arg)
 
+(* The fault-capable instantiations: the same structures over
+   Fault_mem (Atomic_mem), which executes the installed plan against every
+   shared access. *)
+module Faulty_mem = Lf_fault.Fault_mem.Make (Lf_kernel.Atomic_mem)
+module Faulty_fr_list = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Faulty_mem)
+module Faulty_fr_skiplist =
+  Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Faulty_mem)
+module Faulty_harris =
+  Lf_baselines.Harris_list.Make (Lf_kernel.Ordered.Int) (Faulty_mem)
+
+let chaos_ops impl : (int -> bool) * (int -> bool) * (int -> bool) =
+  match impl with
+  | "fr-list" ->
+      let t = Faulty_fr_list.create () in
+      ( (fun k -> Faulty_fr_list.insert t k k),
+        (fun k -> Faulty_fr_list.delete t k),
+        fun k -> Faulty_fr_list.mem t k )
+  | "fr-skiplist" ->
+      let t = Faulty_fr_skiplist.create () in
+      ( (fun k -> Faulty_fr_skiplist.insert t k k),
+        (fun k -> Faulty_fr_skiplist.delete t k),
+        fun k -> Faulty_fr_skiplist.mem t k )
+  | "harris-list" ->
+      let t = Faulty_harris.create () in
+      ( (fun k -> Faulty_harris.insert t k k),
+        (fun k -> Faulty_harris.delete t k),
+        fun k -> Faulty_harris.mem t k )
+  | other ->
+      Printf.eprintf "chaos is available for: fr-list, fr-skiplist, \
+                      harris-list (got %s)\n" other;
+      exit 2
+
+let faults_arg =
+  Arg.(
+    value & opt string ""
+    & info [ "faults" ] ~docv:"SPEC"
+        ~doc:
+          "Fault plan, e.g. \
+           $(b,seed=7;cas-fail:flag-cas:p=0.3:burst=4;crash:after-flag-cas:at=1:lane=0). \
+           Actions: $(b,cas-fail), $(b,crash), $(b,stall); points: \
+           $(b,read), $(b,write), $(b,cas), a C&S kind \
+           ($(b,insert-cas), $(b,flag-cas), $(b,mark-cas), $(b,unlink-cas)) \
+           or $(b,after-)KIND; params: $(b,at=K), $(b,p=)/$(b,burst=), \
+           $(b,n=) (stall rounds), $(b,lane=).  Empty = no faults.")
+
+let window_arg =
+  Arg.(
+    value & opt float 0.3
+    & info [ "w"; "window" ] ~docv:"S" ~doc:"Measured window in seconds.")
+
+let budget_arg =
+  Arg.(
+    value & opt float 0.05
+    & info [ "budget" ] ~docv:"S"
+        ~doc:"Per-operation latency budget for the starvation watchdog.")
+
+let chaos_cmd =
+  let run impl faults domains range (ins, del) seed window budget =
+    let plan =
+      if faults = "" then Lf_fault.Fault.no_faults
+      else
+        match Lf_fault.Fault.plan_of_string faults with
+        | Ok p -> p
+        | Error e ->
+            Printf.eprintf "bad --faults spec: %s\n" e;
+            exit 2
+    in
+    let mix = { Lf_workload.Opgen.insert_pct = ins; delete_pct = del } in
+    let insert, delete, find = chaos_ops impl in
+    Faulty_mem.install plan;
+    let r =
+      Lf_workload.Runner.run_chaos ~budget_s:budget ~window_s:window
+        ~sample:(fun () ->
+          [ ("injected", List.length (Faulty_mem.injected ())) ])
+        ~name:impl ~insert ~delete ~find ~domains ~key_range:range ~mix ~seed
+        ()
+    in
+    let trace = Faulty_mem.injected () in
+    Faulty_mem.uninstall ();
+    Format.printf "%a@." Lf_workload.Runner.pp_chaos_report r;
+    (match trace with
+    | [] -> ()
+    | _ ->
+        Printf.printf "injected faults (first 10 of %d):\n" (List.length trace);
+        List.iteri
+          (fun i inj ->
+            if i < 10 then
+              Printf.printf "  %s\n" (Lf_fault.Fault.injected_to_string inj))
+          trace);
+    if r.c_watchdog_tripped then exit 1
+  in
+  Cmd.v
+    (Cmd.info "chaos"
+       ~doc:
+         "Run a workload under an injected-fault plan and report survivor \
+          throughput, crashes and starvation.  Exits 1 if the watchdog \
+          trips.")
+    Term.(
+      const run $ impl_arg $ faults_arg $ domains_arg $ range_arg $ mix_arg
+      $ seed_arg $ window_arg $ budget_arg)
+
 let list_cmd =
   let run () =
     print_endline "available implementations (* = supports --checked):";
@@ -257,4 +361,4 @@ let () =
     Cmd.info "lfdict" ~version:"1.0"
       ~doc:"Lock-free linked lists and skip lists (Fomitchev-Ruppert, PODC'04)"
   in
-  exit (Cmd.eval (Cmd.group info [ throughput_cmd; check_cmd; list_cmd ]))
+  exit (Cmd.eval (Cmd.group info [ throughput_cmd; check_cmd; chaos_cmd; list_cmd ]))

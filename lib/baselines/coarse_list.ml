@@ -23,6 +23,12 @@ module Make (K : Lf_kernel.Ordered.S) = struct
   let to_list t = locked t (fun () -> S.to_list t.list)
   let length t = locked t (fun () -> S.length t.list)
   let check_invariants t = locked t (fun () -> S.check_invariants t.list)
+
+  (* Chaos hook: occupy the global lock for the duration of [f].  Models a
+     stalled or crashed lock holder — every other operation blocks until
+     [f] returns, which is exactly the non-lock-freedom EXP-18's starvation
+     watchdog must observe. *)
+  let with_lock_held t f = locked t f
 end
 
 module Int = Make (Lf_kernel.Ordered.Int)

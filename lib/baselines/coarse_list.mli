@@ -3,6 +3,17 @@
 
 module Make (K : Lf_kernel.Ordered.S) : sig
   include Lf_kernel.Dict_intf.S with type key = K.t
+
+  val with_lock_held : 'a t -> (unit -> unit) -> unit
+  (** Chaos hook: hold the global lock while the callback runs, blocking
+      every operation.  Models the stalled/crashed lock holder of EXP-18's
+      graceful-degradation comparison; the lock is released when the
+      callback returns (OCaml domains cannot be killed, so a "crash" is a
+      stall longer than the watchdog budget). *)
 end
 
-module Int : Lf_kernel.Dict_intf.S with type key = int
+module Int : sig
+  include Lf_kernel.Dict_intf.S with type key = int
+
+  val with_lock_held : 'a t -> (unit -> unit) -> unit
+end

@@ -120,6 +120,14 @@ module Make (K : Lf_kernel.Ordered.S) = struct
     go acc (Atomic.get t.head.next)
 
   let to_list t = List.rev (fold t (fun acc k e -> (k, e) :: acc) [])
+
+  (* Chaos hook: occupy the head sentinel's lock while [f] runs.  Finds
+     stay wait-free (they take no locks), but any insert/delete whose
+     predecessor is the head blocks — the partial non-lock-freedom EXP-18's
+     starvation watchdog must observe. *)
+  let with_head_locked t f =
+    Mutex.lock t.head.lock;
+    Fun.protect ~finally:(fun () -> Mutex.unlock t.head.lock) f
   let length t = fold t (fun acc _ _ -> acc + 1) 0
 
   let check_invariants t =

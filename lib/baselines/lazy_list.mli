@@ -8,6 +8,15 @@ module Make (K : Lf_kernel.Ordered.S) : sig
   include Lf_kernel.Dict_intf.S with type key = K.t
 
   val fold : 'a t -> ('b -> key -> 'a -> 'b) -> 'b -> 'b
+
+  val with_head_locked : 'a t -> (unit -> unit) -> unit
+  (** Chaos hook: hold the head sentinel's lock while the callback runs.
+      [find]/[mem] stay wait-free, but any update whose predecessor is the
+      head blocks — the partial starvation EXP-18's watchdog must observe. *)
 end
 
-module Int : Lf_kernel.Dict_intf.S with type key = int
+module Int : sig
+  include Lf_kernel.Dict_intf.S with type key = int
+
+  val with_head_locked : 'a t -> (unit -> unit) -> unit
+end

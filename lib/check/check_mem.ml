@@ -269,6 +269,92 @@ module Make (M : Lf_kernel.Mem.S) = struct
     with Fail inv -> Some inv
 
   (* ---------------------------------------------------------------- *)
+  (* Crash residue.
+
+     The online state machine accepts crash-truncated protocols by
+     construction: a crashed process simply stops C&S-ing, and every
+     prefix of the three-step deletion leaves the registry in a state
+     from which any transition the survivors attempt is still validated.
+     What a crash changes is the *quiescent* picture - a structure at
+     rest may legitimately hold a flagged predecessor and/or a marked,
+     still-linked victim (the structures' own [check_invariants] rejects
+     exactly that).  [residue] classifies those leftovers by the protocol
+     window the victim died in, and [check_crash_residue] verifies the
+     leftovers are ones a crash can explain: marks and flags only in the
+     shapes some deletion prefix produces.  Call at quiescence (or inside
+     [Sim.quiet]) after a chaos or crash-enumeration run. *)
+
+  type residue = {
+    r_flagged : (string * string) list;
+        (* flagged cell's owner, interrupted window *)
+    r_marked : string list; (* owners of marked, still-reachable cells *)
+  }
+
+  let fold_reachable f acc =
+    (* Walk the registry's current views from the head cells; termination
+       on (impossible) cyclic views is by the visited set. *)
+    let visited = Hashtbl.create 64 in
+    let rec go acc id =
+      if Hashtbl.mem visited id then acc
+      else begin
+        Hashtbl.add visited id ();
+        match Hashtbl.find_opt cells id with
+        | None -> acc
+        | Some c -> (
+            let acc = f acc id c in
+            match c.cs_view with
+            | Some v when v.right_id <> P.null_id -> go acc v.right_id
+            | _ -> acc)
+      end
+    in
+    Hashtbl.fold
+      (fun id c acc -> if c.cs_head then go acc id else acc)
+      cells acc
+
+  let residue () =
+    with_lock (fun () ->
+        let flagged, marked =
+          fold_reachable
+            (fun (fs, ms) _id c ->
+              match c.cs_view with
+              | Some v when v.flag ->
+                  let window =
+                    match Hashtbl.find_opt cells v.right_id with
+                    | Some s when
+                        (match s.cs_view with Some sv -> sv.mark | None -> false)
+                      ->
+                        "trymark->helpmarked"
+                    | _ -> "tryflag->trymark"
+                  in
+                  ((c.cs_owner, window) :: fs, ms)
+              | Some v when v.mark -> (fs, c.cs_owner :: ms)
+              | _ -> (fs, ms))
+            ([], [])
+        in
+        { r_flagged = List.rev flagged; r_marked = List.rev marked })
+
+  let check_crash_residue () =
+    with_lock (fun () ->
+        fold_reachable
+          (fun acc _id c ->
+            match (acc, c.cs_view) with
+            | (Error _ as e), _ -> e
+            | Ok (), None -> Ok ()
+            | Ok (), Some v ->
+                if v.mark && v.flag then
+                  Error
+                    (Printf.sprintf "INV5: %s both marked and flagged"
+                       c.cs_owner)
+                else if v.mark && c.cs_pinned = 0 then
+                  Error
+                    (Printf.sprintf
+                       "INV3: marked node %s still linked without a flagged \
+                        predecessor"
+                       c.cs_owner)
+                else Ok ())
+          (Ok ()))
+
+  (* ---------------------------------------------------------------- *)
   (* Mem.S.                                                            *)
 
   let make v =

@@ -29,4 +29,35 @@ module Make (M : Lf_kernel.Mem.S) : sig
   val snapshot : unit -> string list
   (** Render every annotated chain (one string per head cell) as the
       checker currently understands it. *)
+
+  (** {1 Crash residue}
+
+      The online state machine accepts crash-truncated protocols by
+      construction: a crashed process simply stops C&S-ing, and every
+      prefix of the three-step deletion leaves a state from which the
+      survivors' transitions still validate.  What a crash changes is the
+      {e quiescent} picture: a structure at rest may legitimately hold a
+      flagged predecessor and/or a marked, still-linked victim (which the
+      structures' own [check_invariants] rejects).  Call these at
+      quiescence — or inside [Lf_dsim.Sim.quiet] — after a chaos or
+      crash-enumeration run. *)
+
+  type residue = {
+    r_flagged : (string * string) list;
+        (** each flagged cell's owner, with the deletion window the victim
+            died in: ["tryflag->trymark"] (successor not yet marked) or
+            ["trymark->helpmarked"] (marked, awaiting unlink) *)
+    r_marked : string list;
+        (** owners of marked cells still reachable from a head *)
+  }
+
+  val residue : unit -> residue
+  (** Classify the protocol leftovers currently reachable from the head
+      cells. *)
+
+  val check_crash_residue : unit -> (unit, string) result
+  (** Check the leftovers are ones a crash can explain: no cell both
+      marked and flagged (INV 5), and every marked cell still reachable is
+      pinned by a flagged predecessor (INV 3) — i.e. the residue is a
+      prefix of some deletion, recoverable by any helper. *)
 end

@@ -45,15 +45,25 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
   and 'a succ = { right : 'a link; mark : bool; flag : bool }
   and 'a link = Null | Node of 'a node
 
-  (* Seeded protocol bugs for the sanitizer tests (Lf_check.Check_mem):
-     each variant corrupts one step of the deletion protocol in a way that
-     runs silently on unchecked memories but trips a specific invariant. *)
-  type mutation = Skip_flag | Double_mark | Unlink_unflagged | Backlink_right
+  (* Seeded protocol bugs for the sanitizer and watchdog tests: the first
+     four corrupt one step of the deletion protocol in a way that runs
+     silently on unchecked memories but trips a specific invariant
+     (Lf_check.Check_mem); [No_help] disables the altruistic help at the
+     three sites that encounter another operation's flag, so progress is
+     no longer lock-free - an operation stuck behind a crashed flag holder
+     spins forever, which the starvation watchdogs must detect. *)
+  type mutation =
+    | Skip_flag
+    | Double_mark
+    | Unlink_unflagged
+    | Backlink_right
+    | No_help
 
   type 'a t = {
     head : 'a node;
     tail : 'a node;
     use_flags : bool;
+    use_backoff : bool;
     mutation : mutation option;
     hints : 'a node H.t option;
         (* per-domain predecessor cache; [None] = ablation (hints off) *)
@@ -95,7 +105,8 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
         (Lf_kernel.Protocol.Backlink { owner; view = link_view_of n })
     end
 
-  let create_with ?mutation ?(use_hints = true) ~use_flags () =
+  let create_with ?mutation ?(use_hints = true) ?(use_backoff = false)
+      ~use_flags () =
     let tail =
       {
         key = Pos_inf;
@@ -119,7 +130,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
       annotate_node ~head:true ~sentinel:true head
     end;
     let hints = if use_hints then Some (H.create ()) else None in
-    { head; tail; use_flags; mutation; hints }
+    { head; tail; use_flags; use_backoff; mutation; hints }
 
   let create () = create_with ~use_flags:true ()
 
@@ -131,6 +142,10 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     | Null -> invalid_arg "Fr_list: dereferenced successor of tail"
 
   let same_node l n = match l with Node m -> m == n | Null -> false
+
+  (* The [No_help] mutant refuses the altruistic help at sites that find
+     another operation's flag; honest code always helps. *)
+  let no_help t = match t.mutation with Some No_help -> true | _ -> false
 
   (* HELPMARKED (Fig. 3): [del] is marked, so [del.succ] is frozen; attempt
      the physical deletion C&S on [prev].succ: (del,0,1) -> (del.right,0,0).
@@ -157,20 +172,27 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     if not (M.get del.succ).mark then try_mark t del;
     help_marked t prev del
 
-  and try_mark t del =
+  and try_mark t del = try_mark_n t del 0
+
+  and try_mark_n t del fails =
     (* Repeat until [del] is marked.  A flagged successor field means the
        deletion of [del]'s successor is in progress: help it finish first
        (the flag blocks our marking C&S). *)
     let s = M.get del.succ in
     if s.mark then ()
-    else if s.flag then begin
-      M.event Ev.Help;
-      help_flagged t del (as_node s.right);
-      try_mark t del
-    end
+    else if s.flag then
+      if no_help t then try_mark_n t del fails
+      else begin
+        M.event Ev.Help;
+        help_flagged t del (as_node s.right);
+        try_mark_n t del fails
+      end
     else if M.cas del.succ ~kind:Ev.Marking ~expect:s { s with mark = true }
     then ()
-    else try_mark t del
+    else begin
+      if t.use_backoff then M.pause fails;
+      try_mark_n t del (fails + 1)
+    end
 
   (* SEARCHFROM (Fig. 3).  Starting from [start] (whose key must be <= k),
      returns two nodes (n1, n2) such that at some instant during the search
@@ -278,7 +300,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
      [(Some prev, false)] - a concurrent deletion already placed it,
      [(None, false)]      - [target] is no longer in the list. *)
   let try_flag t prev target =
-    let rec loop prev =
+    let rec loop fails prev =
       let ps = M.get prev.succ in
       if same_node ps.right target && (not ps.mark) && ps.flag then
         (Some prev, false)
@@ -293,13 +315,14 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
         if same_node ps'.right target && (not ps'.mark) && ps'.flag then
           (Some prev, false)
         else begin
+          if t.use_backoff then M.pause fails;
           let prev = backtrack prev in
           let prev, del = search_from t ~inclusive:false target.key prev in
-          if del != target then (None, false) else loop prev
+          if del != target then (None, false) else loop (fails + 1) prev
         end
       end
     in
-    loop prev
+    loop 0 prev
 
   (* SEARCH (Fig. 3).  Each [*_from] entry point takes a validated start
      node and returns the operation's result together with a "carry": the
@@ -319,17 +342,19 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
 
   (* INSERT (Fig. 5). *)
   let insert_from t kb elt start =
-    let rec attempt prev next =
+    let rec attempt fails prev next =
       let ps = M.get prev.succ in
-      if ps.flag then begin
-        (* Predecessor is flagged: help the pending deletion complete. *)
-        M.event Ev.Help;
-        help_flagged t prev (as_node ps.right);
-        relocate prev
-      end
+      if ps.flag then
+        if no_help t then attempt fails prev next
+        else begin
+          (* Predecessor is flagged: help the pending deletion complete. *)
+          M.event Ev.Help;
+          help_flagged t prev (as_node ps.right);
+          relocate fails prev
+        end
       else if ps.mark || not (same_node ps.right next) then
         (* Stale view: the C&S would fail; recover as after a failure. *)
-        recover prev
+        recover fails prev
       else begin
         let nn =
           {
@@ -344,22 +369,25 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
           M.cas prev.succ ~kind:Ev.Insertion ~expect:ps
             { right = Node nn; mark = false; flag = false }
         then (true, nn)
-        else recover prev
+        else begin
+          if t.use_backoff then M.pause fails;
+          recover (fails + 1) prev
+        end
       end
-    and recover prev =
+    and recover fails prev =
       (* Lines 14-18: if the failure was due to flagging, help; if due to
          marking, traverse backlinks to an unmarked node. *)
       let ps = M.get prev.succ in
-      if ps.flag then begin
+      if ps.flag && not (no_help t) then begin
         M.event Ev.Help;
         help_flagged t prev (as_node ps.right)
       end;
-      relocate (backtrack prev)
-    and relocate prev =
+      relocate fails (backtrack prev)
+    and relocate fails prev =
       let prev, next = search_from t ~inclusive:true kb prev in
-      if BK.equal prev.key kb then (false, prev) else attempt prev next
+      if BK.equal prev.key kb then (false, prev) else attempt fails prev next
     in
-    relocate start
+    relocate 0 start
 
   let insert t k elt =
     let kb = Lf_kernel.Ordered.Mid k in
@@ -376,7 +404,10 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     else begin
       let prev_opt, result = try_flag t prev del in
       (match prev_opt with
-      | Some prev -> help_flagged t prev del
+      | Some prev ->
+          (* [result = false] means the flag is a concurrent deleter's:
+             finishing it is altruistic help, which the mutant refuses. *)
+          if result || not (no_help t) then help_flagged t prev del
       | None -> ());
       (result, prev)
     end
@@ -462,12 +493,17 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
               M.set del.backlink (Node nxt);
               true
           | Null -> true)
+      | No_help ->
+          (* Not a one-shot corruption: [No_help] gates the altruistic help
+             sites instead, and [delete] never routes it here. *)
+          assert false
 
   let delete t k =
     let kb = Lf_kernel.Ordered.Mid k in
     match t.mutation with
+    | Some No_help | None ->
+        if t.use_flags then delete_flagged t kb else delete_flagless t kb
     | Some m -> delete_mutant t m kb
-    | None -> if t.use_flags then delete_flagged t kb else delete_flagless t kb
 
   (* ------------------------------------------------------------------ *)
   (* Batched operations (the Traeff-Poeter "pragmatic" pattern): process

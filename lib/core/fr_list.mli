@@ -28,21 +28,40 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
   type 'a t
   (** A dictionary from [K.t] to ['a]. *)
 
-  type mutation = Skip_flag | Double_mark | Unlink_unflagged | Backlink_right
-  (** Seeded protocol bugs for the sanitizer tests: a mutated list's
-      [delete] corrupts one step of the three-step protocol.  On unchecked
-      memories the damage is silent (often even invisible to a quiescent
-      [check_invariants]); under [Lf_check.Check_mem] each variant trips a
-      specific invariant — respectively INV 3 (marking without a flagged
-      predecessor), INV 2 (marked is terminal), INV 3 (physical delete from
-      an unflagged predecessor) and INV 4 (backlink points right). *)
+  type mutation =
+    | Skip_flag
+    | Double_mark
+    | Unlink_unflagged
+    | Backlink_right
+    | No_help
+  (** Seeded protocol bugs for the sanitizer and watchdog tests.  The first
+      four corrupt one step of the three-step protocol in the mutated
+      list's [delete]: on unchecked memories the damage is silent (often
+      even invisible to a quiescent [check_invariants]); under
+      [Lf_check.Check_mem] each variant trips a specific invariant —
+      respectively INV 3 (marking without a flagged predecessor), INV 2
+      (marked is terminal), INV 3 (physical delete from an unflagged
+      predecessor) and INV 4 (backlink points right).
+
+      [No_help] instead disables the altruistic helping at every site that
+      encounters {e another} operation's flag (operations still complete
+      their own deletions).  The structure stays correct under benign
+      schedules but is no longer lock-free: an operation stuck behind a
+      crashed flag holder spins forever, which the starvation watchdogs
+      ([Lf_workload.Sim_driver.run_chaos_sim], [Lf_workload.Runner.run_chaos])
+      must detect by name. *)
 
   val name : string
 
   val create : unit -> 'a t
 
   val create_with :
-    ?mutation:mutation -> ?use_hints:bool -> use_flags:bool -> unit -> 'a t
+    ?mutation:mutation ->
+    ?use_hints:bool ->
+    ?use_backoff:bool ->
+    use_flags:bool ->
+    unit ->
+    'a t
   (** [create_with ~use_flags:false] builds the EXP-8 ablation variant:
       two-step Harris-style deletion that still sets backlinks but never
       flags the predecessor.  It is correct but loses the guarantee that
@@ -55,7 +74,14 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
       calling domain ended on, validated per Section 3.2 (unmarked, key
       below the target; marked hints recover through backlinks, unusable
       ones fall back to the head).  [~use_hints:false] is the EXP-17
-      ablation.  [create () = create_with ~use_flags:true ()]. *)
+      ablation.
+
+      [use_backoff] (default [false]) inserts bounded exponential backoff
+      ([Mem.S.pause], growing with the consecutive-failure count) before
+      re-entering a C&S retry loop after a failed C&S — in TRYMARK,
+      TRYFLAG and INSERT.  Helping is never delayed.  EXP-18 measures its
+      effect under spurious-C&S-failure storms.
+      [create () = create_with ~use_flags:true ()]. *)
 
   (** {1 Dictionary operations (Figures 3-5)} *)
 

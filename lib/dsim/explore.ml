@@ -108,3 +108,143 @@ let run ?(max_preemptions = 2) ?(max_schedules = 100_000)
     truncated = !truncated;
     failures = List.rev !failures;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Crash-bounded enumeration.
+
+   Same replay-based DFS, but a scheduling decision may also be "crash
+   process p here" ([Sim.crash]): p is never scheduled again and whatever
+   flags/marks it published stay behind for the survivors to help.  A
+   crash consumes one unit of crash budget and no preemption budget (the
+   forced switch away from a crashed process is free, like switching away
+   from a finished one).  With [max_preemptions = 0], [max_crashes = 1]
+   and [crashable = [v]] this enumerates exactly "crash v at every point
+   of the default schedule" - the sweep test_crash.ml used to hand-roll
+   with a step-counting policy - and the budgets generalize it to crashes
+   under preemption and to multiple failures. *)
+
+type choice = Run of Sim.pid | Crash of Sim.pid
+
+let choice_to_string = function
+  | Run p -> Printf.sprintf "run %d" p
+  | Crash p -> Printf.sprintf "crash %d" p
+
+type crash_outcome = {
+  c_schedules_run : int;
+  c_truncated : bool;
+  c_failures : (choice list * string) list;
+}
+
+(* One replay under a forced choice prefix.  Crash choices are applied
+   within the same policy invocation (they consume a decision slot but no
+   scheduler step); past the prefix the default non-crashing rule applies.
+   Returns the decision trace, the pids crashed, and the oracle's verdict
+   (the oracle receives the crashed set so it can require survivors to
+   have completed and treat the victims' operations as pending). *)
+let run_one_crash ~max_steps mk (forced : choice array) =
+  let bodies, check = mk () in
+  let trace = ref [] in
+  let crashed = ref [] in
+  let count = ref 0 in
+  let last = ref (-1) in
+  let policy st =
+    let rec decide () =
+      match Sim.runnable st with
+      | [] -> None
+      | runnable ->
+          let idx = !count in
+          if idx < Array.length forced then begin
+            let c = forced.(idx) in
+            incr count;
+            trace := (runnable, c, !last) :: !trace;
+            match c with
+            | Run p ->
+                if not (List.mem p runnable) then
+                  failwith
+                    "Explore: forced choice not runnable - the scenario is \
+                     not deterministic (is it drawing from a global RNG?)";
+                last := p;
+                Some p
+            | Crash p ->
+                if not (List.mem p runnable) then
+                  failwith "Explore: forced crash victim not runnable";
+                Sim.crash st p;
+                crashed := p :: !crashed;
+                decide ()
+          end
+          else begin
+            let p =
+              if List.mem !last runnable then !last else List.hd runnable
+            in
+            incr count;
+            trace := (runnable, Run p, !last) :: !trace;
+            last := p;
+            Some p
+          end
+    in
+    decide ()
+  in
+  let verdict =
+    match Sim.run ~policy:(Sim.Custom policy) ~max_steps bodies with
+    | (_ : Sim.result) -> check ~crashed:(List.rev !crashed)
+    | exception e -> Error (Printexc.to_string e)
+  in
+  (List.rev !trace, List.rev !crashed, verdict)
+
+let run_crash ?(max_preemptions = 0) ?(max_crashes = 1) ?crashable
+    ?(max_schedules = 100_000) ?(max_steps = 1_000_000) ?(max_failures = 10)
+    (mk :
+      unit ->
+      (Sim.pid -> unit) array
+      * (crashed:Sim.pid list -> (unit, string) result)) : crash_outcome =
+  let may_crash p =
+    match crashable with None -> true | Some l -> List.mem p l
+  in
+  let schedules = ref 0 in
+  let truncated = ref false in
+  let failures = ref [] in
+  let rec dfs forced p_budget c_budget =
+    if !schedules >= max_schedules then truncated := true
+    else begin
+      incr schedules;
+      let trace, _, verdict =
+        run_one_crash ~max_steps mk (Array.of_list forced)
+      in
+      (match verdict with
+      | Ok () -> ()
+      | Error msg ->
+          if List.length !failures < max_failures then
+            failures := (forced, msg) :: !failures);
+      let base = List.length forced in
+      let chosen_list = List.map (fun (_, c, _) -> c) trace in
+      List.iteri
+        (fun i (runnable, chosen, prev) ->
+          (* Branches are generated only past the forced prefix, where the
+             default rule never crashes: [chosen] is always [Run _] here. *)
+          if i >= base then begin
+            let prefix () = List.filteri (fun j _ -> j < i) chosen_list in
+            List.iter
+              (fun alt ->
+                (match chosen with
+                | Run c when alt <> c ->
+                    let cost =
+                      if List.mem prev runnable && alt <> prev then 1 else 0
+                    in
+                    if cost <= p_budget && !schedules < max_schedules then
+                      dfs (prefix () @ [ Run alt ]) (p_budget - cost) c_budget
+                | Run _ | Crash _ -> ());
+                if
+                  c_budget > 0 && may_crash alt
+                  && !schedules < max_schedules
+                then dfs (prefix () @ [ Crash alt ]) p_budget (c_budget - 1))
+              runnable
+          end)
+        trace
+    end
+  in
+  dfs [] max_preemptions max_crashes;
+  {
+    c_schedules_run = !schedules;
+    c_truncated = !truncated;
+    c_failures = List.rev !failures;
+  }

@@ -43,3 +43,55 @@ val run :
     seeded inside [mk] (not from a global stream such as the skip lists'
     height RNG - use [insert_with_height]).  Defaults: 2 preemptions,
     100_000 schedules, 1_000_000 steps per run, 10 recorded failures. *)
+
+(** {1 Crash-bounded enumeration}
+
+    Same replay-based DFS, but a scheduling decision may also be {e crash
+    process p here} ({!Sim.crash}): p is never scheduled again and whatever
+    flags/marks it published stay behind for the survivors' helping
+    routines.  A crash consumes one unit of crash budget and no preemption
+    budget.  With [max_preemptions = 0], [max_crashes = 1] and
+    [crashable = [v]], this enumerates exactly "crash v at every point of
+    the default schedule"; the budgets generalize to crashes under
+    preemption and to multiple failures. *)
+
+type choice = Run of Sim.pid | Crash of Sim.pid
+
+val choice_to_string : choice -> string
+
+type crash_outcome = {
+  c_schedules_run : int;
+  c_truncated : bool;  (** stopped at [max_schedules] before exhausting *)
+  c_failures : (choice list * string) list;
+      (** forced-choice prefix reproducing each failure, plus its message *)
+}
+
+val run_one_crash :
+  max_steps:int ->
+  (unit ->
+  (Sim.pid -> unit) array * (crashed:Sim.pid list -> (unit, string) result)) ->
+  choice array ->
+  (Sim.pid list * choice * Sim.pid) list
+  * Sim.pid list
+  * (unit, string) result
+(** One replay under a forced choice prefix (crashes apply only from the
+    prefix; the default rule past it never crashes).  Returns the decision
+    trace [(runnable, choice, previously running)], the crashed pids in
+    crash order, and the oracle's verdict. *)
+
+val run_crash :
+  ?max_preemptions:int ->
+  ?max_crashes:int ->
+  ?crashable:Sim.pid list ->
+  ?max_schedules:int ->
+  ?max_steps:int ->
+  ?max_failures:int ->
+  (unit ->
+  (Sim.pid -> unit) array * (crashed:Sim.pid list -> (unit, string) result)) ->
+  crash_outcome
+(** Like {!run}, with crash choices.  The oracle receives the pids crashed
+    in this schedule, so it can require the survivors to have completed and
+    treat the victims' operations as pending (helped to completion or never
+    linearized; see DESIGN.md §8).  [crashable] defaults to every pid.
+    Defaults: 0 preemptions, 1 crash, 100_000 schedules, 1_000_000 steps,
+    10 recorded failures. *)

@@ -44,6 +44,7 @@ type proc_status =
 type state = {
   procs : proc_status array;
   counters : Counters.t array;
+  crashed : bool array;
   mutable current : pid;
   mutable total_steps : int;
   mutable active_ops : int;
@@ -71,6 +72,16 @@ type result = {
 let num_procs st = Array.length st.procs
 let is_finished st pid = st.procs.(pid) = Finished
 
+(* A crashed process is never scheduled again: its continuation is dropped
+   mid-protocol, so whatever flags/marks it published stay in the structure
+   for the survivors' helping routines - the paper's failure model.  Any
+   operation it had open is folded into the records (completed = false)
+   when the run ends.  Policies call this between slices; crashing the pid
+   whose slice is executing is not possible (policies only run between
+   slices). *)
+let crash st pid = st.crashed.(pid) <- true
+let is_crashed st pid = st.crashed.(pid)
+
 let pending_kind st pid =
   match st.procs.(pid) with
   | Blocked (k, _) -> Some k
@@ -89,7 +100,8 @@ let runnable st =
   for pid = num_procs st - 1 downto 0 do
     match st.procs.(pid) with
     | Finished | Running -> ()
-    | Not_started _ | Blocked _ -> out := pid :: !out
+    | Not_started _ | Blocked _ ->
+        if not st.crashed.(pid) then out := pid :: !out
   done;
   !out
 
@@ -248,6 +260,7 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
     {
       procs = Array.mapi (fun pid body -> Not_started (fun () -> body pid)) bodies;
       counters = Array.init p (fun _ -> Counters.create ());
+      crashed = Array.make p false;
       current = 0;
       total_steps = 0;
       active_ops = 0;
@@ -269,7 +282,8 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
             let pid = i mod p in
             match st.procs.(pid) with
             | Finished | Running -> scan (i + 1) (tries + 1)
-            | Not_started _ | Blocked _ -> Some pid
+            | Not_started _ | Blocked _ ->
+                if st.crashed.(pid) then scan (i + 1) (tries + 1) else Some pid
         in
         scan (last + 1) 0
     | Random _ -> (
@@ -285,6 +299,7 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
     match choose last with
     | None -> ()
     | Some pid ->
+        if st.crashed.(pid) then failwith "Sim: scheduled a crashed process";
         st.current <- pid;
         (match st.procs.(pid) with
         | Not_started body ->

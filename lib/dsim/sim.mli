@@ -66,7 +66,18 @@ val counters : state -> pid -> Lf_kernel.Counters.t
 val total_steps : state -> int
 
 val runnable : state -> pid list
-(** Unfinished processes, in pid order. *)
+(** Unfinished, uncrashed processes, in pid order. *)
+
+(** {1 Crashing (the paper's failure model)} *)
+
+val crash : state -> pid -> unit
+(** Permanently stop scheduling [pid]: its continuation is dropped
+    mid-protocol, so whatever flags/marks it published stay in the
+    structure for the survivors' helping routines.  Any operation it had
+    open is folded into the result's records with [completed = false].
+    Call from a policy or [on_step], between slices. *)
+
+val is_crashed : state -> pid -> bool
 
 val last_step : state -> (pid * Sim_effect.step_kind) option
 (** The most recently executed shared-memory action (what an [on_step]

@@ -1,0 +1,77 @@
+(* Vocabulary for fault plans (lib/fault): which shared-memory accesses a
+   fault rule targets.
+
+   The vocabulary deliberately reuses the cost-model classification of
+   {!Mem_event.cas_kind}, so a plan can aim at exactly the protocol steps
+   the paper names: a rule on [Cas Flagging] exercises every TRYFLAG retry
+   loop, while [After_cas_ok Flagging] fires on the first access *after* a
+   successful TRYFLAG - the window between TRYFLAG and TRYMARK in which a
+   crashed process leaves a flag behind for helpers to recover.
+
+   This module is pure description; executing a plan (deciding which
+   matching access actually faults, with what seeded randomness) lives in
+   [Lf_fault.Fault]. *)
+
+(* One shared-memory access as a fault plan observes it: the step about to
+   be executed, not its outcome. *)
+type access = A_read | A_write | A_cas of Mem_event.cas_kind
+
+type t =
+  | Any                              (* every shared-memory access *)
+  | Read
+  | Write
+  | Any_cas
+  | Cas of Mem_event.cas_kind
+  | After_cas_ok of Mem_event.cas_kind
+      (* the accesses following a successful C&S of this kind by the same
+         process, until that process attempts its next C&S *)
+
+(* [last_ok] is the kind of the matching process's most recent C&S iff that
+   C&S succeeded and no later C&S was attempted ([None] otherwise);
+   maintained per lane by the plan executor. *)
+let matches t ~(last_ok : Mem_event.cas_kind option) (a : access) =
+  match (t, a) with
+  | Any, _ -> true
+  | Read, A_read -> true
+  | Read, _ -> false
+  | Write, A_write -> true
+  | Write, _ -> false
+  | Any_cas, A_cas _ -> true
+  | Any_cas, _ -> false
+  | Cas k, A_cas k' -> k = k'
+  | Cas _, _ -> false
+  | After_cas_ok k, _ -> ( match last_ok with Some k' -> k = k' | None -> false)
+
+let access_to_string = function
+  | A_read -> "read"
+  | A_write -> "write"
+  | A_cas k -> Mem_event.cas_kind_to_string k
+
+let to_string = function
+  | Any -> "any"
+  | Read -> "read"
+  | Write -> "write"
+  | Any_cas -> "cas"
+  | Cas k -> Mem_event.cas_kind_to_string k
+  | After_cas_ok k -> "after-" ^ Mem_event.cas_kind_to_string k
+
+let of_string s =
+  match s with
+  | "any" -> Some Any
+  | "read" -> Some Read
+  | "write" -> Some Write
+  | "cas" -> Some Any_cas
+  | _ -> (
+      match Mem_event.cas_kind_of_string s with
+      | Some k -> Some (Cas k)
+      | None ->
+          let pre = "after-" in
+          let pl = String.length pre in
+          if String.length s > pl && String.equal (String.sub s 0 pl) pre then
+            match
+              Mem_event.cas_kind_of_string
+                (String.sub s pl (String.length s - pl))
+            with
+            | Some k -> Some (After_cas_ok k)
+            | None -> None
+          else None)

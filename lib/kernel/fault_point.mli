@@ -1,0 +1,40 @@
+(** Vocabulary for fault plans: which shared-memory accesses a fault rule
+    targets.
+
+    Reuses the cost-model classification of {!Mem_event.cas_kind}, so a
+    plan can aim at exactly the protocol steps the paper names: [Cas
+    Flagging] exercises every TRYFLAG retry loop, [After_cas_ok Flagging]
+    fires on the accesses following a successful TRYFLAG — the window
+    between TRYFLAG and TRYMARK in which a crashed process leaves its flag
+    behind for helpers to recover.
+
+    Pure description; plan execution (seeded decisions, trace recording)
+    lives in [Lf_fault.Fault]. *)
+
+(** One shared-memory access as a plan observes it: the step about to be
+    executed, not its outcome. *)
+type access = A_read | A_write | A_cas of Mem_event.cas_kind
+
+type t =
+  | Any  (** every shared-memory access *)
+  | Read
+  | Write
+  | Any_cas
+  | Cas of Mem_event.cas_kind
+  | After_cas_ok of Mem_event.cas_kind
+      (** accesses following a successful C&S of this kind by the same
+          process, until that process attempts its next C&S *)
+
+val matches : t -> last_ok:Mem_event.cas_kind option -> access -> bool
+(** [last_ok] is the kind of the observed process's most recent C&S iff it
+    succeeded and no later C&S has been attempted; the plan executor
+    maintains it per lane. *)
+
+val access_to_string : access -> string
+
+val to_string : t -> string
+(** The names accepted by {!of_string}: ["any"], ["read"], ["write"],
+    ["cas"], the {!Mem_event.cas_kind_to_string} names, and
+    ["after-<cas-kind>"]. *)
+
+val of_string : string -> t option

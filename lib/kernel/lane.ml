@@ -1,0 +1,21 @@
+(* Per-domain lane identity for fault attribution.
+
+   A fault plan targets "lanes" - stable small integers naming the workers
+   of a harness run - rather than raw domain ids, which are allocation
+   order dependent and restart across runs.  Workers register their lane at
+   startup; unregistered domains fall back to the domain id, which keeps
+   single-domain uses (tests, REPL) working without ceremony.
+
+   Kept in the kernel so domain-local state stays behind the kernel seam
+   (the same reasoning as [Hint] and [Splitmix.domain_local]; see the
+   no-raw-dls lint rule). *)
+
+let key : int option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let set i = Domain.DLS.set key (Some i)
+let clear () = Domain.DLS.set key None
+
+let get () =
+  match Domain.DLS.get key with
+  | Some i -> i
+  | None -> (Domain.self () :> int)

@@ -1,0 +1,17 @@
+(** Per-domain lane identity for fault attribution.
+
+    A fault plan targets {e lanes} — stable small integers naming the
+    workers of a harness run — rather than raw domain ids, which depend on
+    allocation order.  Harness workers call {!set} at startup; domains that
+    never registered fall back to their domain id.
+
+    Lives in the kernel so domain-local state stays behind the kernel seam
+    (like {!Hint} and {!Splitmix.domain_local}). *)
+
+val set : int -> unit
+(** Register the calling domain's lane. *)
+
+val clear : unit -> unit
+
+val get : unit -> int
+(** The calling domain's registered lane, or its domain id if none. *)

@@ -31,6 +31,14 @@ let cas_kind_to_string = function
   | Physical_delete -> "unlink-cas"
   | Other_cas -> "other-cas"
 
+let cas_kind_of_string = function
+  | "insert-cas" -> Some Insertion
+  | "flag-cas" -> Some Flagging
+  | "mark-cas" -> Some Marking
+  | "unlink-cas" -> Some Physical_delete
+  | "other-cas" -> Some Other_cas
+  | _ -> None
+
 let to_string = function
   | Backlink_step -> "backlink"
   | Next_update -> "next-update"

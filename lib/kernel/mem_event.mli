@@ -30,6 +30,10 @@ type t =
   | User of string  (** free-form annotation used by benches and tests *)
 
 val cas_kind_to_string : cas_kind -> string
+
+(** Inverse of {!cas_kind_to_string}; used by the fault-plan parser. *)
+val cas_kind_of_string : string -> cas_kind option
+
 val to_string : t -> string
 val pp_cas_kind : Format.formatter -> cas_kind -> unit
 val pp : Format.formatter -> t -> unit

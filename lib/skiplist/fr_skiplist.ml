@@ -59,6 +59,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     heads : 'a node array; (* heads.(l-1) is the -inf sentinel of level l *)
     tail : 'a node; (* shared +inf sentinel *)
     help_superfluous : bool;
+    use_backoff : bool;
     hints : 'a hint_path H.t option; (* [None] = hints-off ablation *)
   }
 
@@ -101,7 +102,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
   let rng = Lf_kernel.Splitmix.domain_local 0x5ee
 
   let create_with ?(max_level = 24) ?(help_superfluous = true)
-      ?(use_hints = true) () =
+      ?(use_hints = true) ?(use_backoff = false) () =
     let tail =
       {
         key = Pos_inf;
@@ -129,7 +130,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
       annotate_node ~head:true ~sentinel:true ~level:l heads.(l - 1)
     done;
     let hints = if use_hints then Some (H.create ()) else None in
-    { max_level; heads; tail; help_superfluous; hints }
+    { max_level; heads; tail; help_superfluous; use_backoff; hints }
 
   let create () = create_with ()
   let head_at t l = t.heads.(l - 1)
@@ -164,17 +165,22 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     if not (M.get del.succ).mark then try_mark t del;
     help_marked t prev del
 
-  and try_mark t del =
+  and try_mark t del = try_mark_n t del 0
+
+  and try_mark_n t del fails =
     let s = M.get del.succ in
     if s.mark then ()
     else if s.flag then begin
       M.event Ev.Help;
       help_flagged t del (as_node s.right);
-      try_mark t del
+      try_mark_n t del fails
     end
     else if M.cas del.succ ~kind:Ev.Marking ~expect:s { s with mark = true }
     then ()
-    else try_mark t del
+    else begin
+      if t.use_backoff then M.pause fails;
+      try_mark_n t del (fails + 1)
+    end
 
   let rec backtrack p =
     if (M.get p.succ).mark then begin
@@ -232,7 +238,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
      concurrent deletion had placed it, [None, false] if [target] left the
      level. *)
   and try_flag_node t prev target =
-    let rec loop prev =
+    let rec loop fails prev =
       let ps = M.get prev.succ in
       if same_node ps.right target && (not ps.mark) && ps.flag then
         (Some prev, false)
@@ -245,13 +251,14 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
         if same_node ps'.right target && (not ps'.mark) && ps'.flag then
           (Some prev, false)
         else begin
+          if t.use_backoff then M.pause fails;
           let prev = backtrack prev in
           let prev, del = search_right t ~inclusive:false target.key prev in
-          if del != target then (None, false) else loop prev
+          if del != target then (None, false) else loop (fails + 1) prev
         end
       end
     in
-    loop prev
+    loop 0 prev
 
   (* DELETENODE: the three-step deletion given a position hint. *)
   let delete_node t prev del =
@@ -411,14 +418,14 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
      inserted node or [`Duplicate] when a node with the same key is found at
      this level. *)
   let insert_node t ~key ~elt ~down ~tower_root ~level prev next =
-    let rec attempt prev next =
+    let rec attempt fails prev next =
       let ps = M.get prev.succ in
       if ps.flag then begin
         M.event Ev.Help;
         help_flagged t prev (as_node ps.right);
-        relocate prev
+        relocate fails prev
       end
-      else if ps.mark || not (same_node ps.right next) then recover prev
+      else if ps.mark || not (same_node ps.right next) then recover fails prev
       else begin
         let nn =
           {
@@ -436,20 +443,24 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
           M.cas prev.succ ~kind:Ev.Insertion ~expect:ps
             { right = Node nn; mark = false; flag = false }
         then (prev, `Inserted nn)
-        else recover prev
+        else begin
+          if t.use_backoff then M.pause fails;
+          recover (fails + 1) prev
+        end
       end
-    and recover prev =
+    and recover fails prev =
       let ps = M.get prev.succ in
       if ps.flag then begin
         M.event Ev.Help;
         help_flagged t prev (as_node ps.right)
       end;
-      relocate (backtrack prev)
-    and relocate prev =
+      relocate fails (backtrack prev)
+    and relocate fails prev =
       let prev, next = search_right t ~inclusive:true key prev in
-      if BK.equal prev.key key then (prev, `Duplicate) else attempt prev next
+      if BK.equal prev.key key then (prev, `Duplicate)
+      else attempt fails prev next
     in
-    attempt prev next
+    attempt 0 prev next
 
   let flip () = Lf_kernel.Splitmix.bool (rng ())
 

@@ -29,7 +29,12 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
   (** [create_with ~max_level:24 ~help_superfluous:true ()]. *)
 
   val create_with :
-    ?max_level:int -> ?help_superfluous:bool -> ?use_hints:bool -> unit -> 'a t
+    ?max_level:int ->
+    ?help_superfluous:bool ->
+    ?use_hints:bool ->
+    ?use_backoff:bool ->
+    unit ->
+    'a t
   (** [~help_superfluous:false] is the EXP-9 ablation: searches traverse
       superfluous towers instead of deleting them, and deletions skip the
       upper-level cleanup.  Only safe when keys are never reinserted (a
@@ -42,7 +47,13 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) : sig
       recover through backlinks, unusable ones fall back to that level's
       head), and an insertion's upper-level searches reuse the tower path
       its own lower levels just recorded.  [~use_hints:false] is the EXP-17
-      ablation. *)
+      ablation.
+
+      [use_backoff] (default [false]) inserts bounded exponential backoff
+      ([Mem.S.pause]) before re-entering a C&S retry loop after a failed
+      C&S — in TRYMARK, TRYFLAGNODE and INSERTNODE.  Helping is never
+      delayed.  EXP-18 measures its effect under spurious-C&S-failure
+      storms. *)
 
   (** {1 Dictionary operations (SEARCH_SL / INSERT_SL / DELETE_SL)} *)
 

@@ -22,6 +22,10 @@ module Make (K : Lf_kernel.Ordered.S) = struct
   let to_list t = locked t (fun () -> S.to_list t.sl)
   let length t = locked t (fun () -> S.length t.sl)
   let check_invariants t = locked t (fun () -> S.check_invariants t.sl)
+
+  (* Chaos hook: occupy the global lock while [f] runs (EXP-18's stalled
+     lock holder). *)
+  let with_lock_held t f = locked t f
 end
 
 module Int = Make (Lf_kernel.Ordered.Int)

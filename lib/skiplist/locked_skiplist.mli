@@ -4,6 +4,14 @@
 
 module Make (K : Lf_kernel.Ordered.S) : sig
   include Lf_kernel.Dict_intf.S with type key = K.t
+
+  val with_lock_held : 'a t -> (unit -> unit) -> unit
+  (** Chaos hook: hold the global lock while the callback runs, blocking
+      every operation (EXP-18's stalled lock holder). *)
 end
 
-module Int : Lf_kernel.Dict_intf.S with type key = int
+module Int : sig
+  include Lf_kernel.Dict_intf.S with type key = int
+
+  val with_lock_held : 'a t -> (unit -> unit) -> unit
+end

@@ -161,3 +161,253 @@ let run_recorded (module D : INT_DICT) ~domains ~ops_per_domain ~key_range
   List.iter Domain.join ds;
   D.check_invariants t;
   Lf_lin.History.Recorder.history rec_
+
+(* ------------------------------------------------------------------ *)
+(* Chaos runs: multi-domain stress under an injected-fault plan.       *)
+(* ------------------------------------------------------------------ *)
+
+type chaos_report = {
+  c_impl : string;
+  c_domains : int;
+  c_window_s : float;
+  c_budget_s : float;
+  c_ops : int array;
+  c_crashed : int list;
+  c_worst_latency_s : float array;
+  c_starved : (int * float) list;
+  c_watchdog_tripped : bool;
+  c_survivors : int;
+  c_survivor_ops : int;
+  c_survivor_ops_per_s : float;
+  c_counters : (string * int) list;
+}
+
+let pp_chaos_report ppf r =
+  Format.fprintf ppf "@[<v>chaos %s: %d domains, %.3fs window@," r.c_impl
+    r.c_domains r.c_window_s;
+  Format.fprintf ppf "  ops/lane: %a@,"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       Format.pp_print_int)
+    (Array.to_list r.c_ops);
+  if r.c_crashed <> [] then
+    Format.fprintf ppf "  crashed lanes: %a@,"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+         Format.pp_print_int)
+      r.c_crashed;
+  List.iter
+    (fun (lane, worst) ->
+      Format.fprintf ppf "  STARVED lane %d: worst op latency %.3fs > %.3fs budget@,"
+        lane worst r.c_budget_s)
+    r.c_starved;
+  List.iter
+    (fun (k, v) -> Format.fprintf ppf "  %s: %d@," k v)
+    r.c_counters;
+  Format.fprintf ppf "  watchdog %s; survivors %d: %d ops (%.0f ops/s)@]"
+    (if r.c_watchdog_tripped then "TRIPPED" else "quiet")
+    r.c_survivors r.c_survivor_ops r.c_survivor_ops_per_s
+
+(* The monitor (main domain) polls per-lane heartbeats instead of joining
+   blindly, so a non-lock-free structure under a stalled lock holder is
+   reported as starvation rather than hanging the run.  Victim closures
+   must terminate on their own (OCaml domains cannot be killed): a "crash"
+   of a lock holder is modeled as a stall much longer than the watchdog
+   budget, after which the lock is released and every join completes. *)
+let run_chaos ?(victims = []) ?(budget_s = 0.05) ?(window_s = 0.2)
+    ?(sample = fun () -> []) ~name ~(insert : int -> bool)
+    ~(delete : int -> bool) ~(find : int -> bool) ~domains ~key_range
+    ~(mix : Opgen.mix) ~seed () : chaos_report =
+  (* The monitor (this domain) also runs the prefill; park it on lane -1 so
+     its accesses never match a worker-lane-targeted fault rule (the lane
+     fallback is the domain id, which would collide with worker lane 0). *)
+  Lf_kernel.Lane.set (-1);
+  prefill ~key_range ~fill:50 ~seed:((seed * 7) + 1) insert;
+  let base = sample () in
+  let stop = Atomic.make false in
+  let completed = Array.init domains (fun _ -> Atomic.make 0) in
+  (* Per-lane heartbeat: invocation time of the op in flight, in integer
+     microseconds since [t_origin]; -1 = no op in flight.  Lane states:
+     0 = running, 1 = done, 2 = crashed by an injected fault. *)
+  let op_start = Array.init domains (fun _ -> Atomic.make (-1)) in
+  let state = Array.init domains (fun _ -> Atomic.make 0) in
+  let t_origin = now () in
+  let us t = int_of_float ((t -. t_origin) *. 1e6) in
+  let enter = barrier (domains + 1) in
+  let work did =
+    Lf_kernel.Lane.set did;
+    let rng = Lf_kernel.Splitmix.create (seed + (1000 * did)) in
+    let keygen = Keygen.uniform key_range in
+    enter ();
+    (match List.assoc_opt did victims with
+    | Some victim -> victim ()
+    | None -> (
+        try
+          while not (Atomic.get stop) do
+            let op = Opgen.draw mix keygen rng in
+            Atomic.set op_start.(did) (us (now ()));
+            (match op with
+            | Opgen.Insert k -> ignore (insert k)
+            | Delete k -> ignore (delete k)
+            | Find k -> ignore (find k));
+            Atomic.set op_start.(did) (-1);
+            Atomic.incr completed.(did)
+          done
+        with Lf_fault.Fault.Crashed _ ->
+          Atomic.set op_start.(did) (-1);
+          Atomic.set state.(did) 2));
+    if Atomic.get state.(did) = 0 then Atomic.set state.(did) 1;
+    Lf_kernel.Lane.clear ()
+  in
+  let ds = List.init domains (fun i -> Domain.spawn (fun () -> work i)) in
+  let worst = Array.make domains 0. in
+  let ops_at_close = Array.make domains 0 in
+  enter ();
+  let t0 = now () in
+  let close_t = ref t0 in
+  let closed = ref false in
+  let all_settled () = Array.for_all (fun s -> Atomic.get s <> 0) state in
+  while not (!closed && all_settled ()) do
+    let tn = now () in
+    if (not !closed) && tn -. t0 >= window_s then begin
+      Array.iteri (fun i c -> ops_at_close.(i) <- Atomic.get c) completed;
+      close_t := tn;
+      closed := true;
+      Atomic.set stop true
+    end;
+    for i = 0 to domains - 1 do
+      let s = Atomic.get op_start.(i) in
+      if s >= 0 then begin
+        let lat = tn -. t_origin -. (float_of_int s /. 1e6) in
+        if lat > worst.(i) then worst.(i) <- lat
+      end
+    done;
+    Unix.sleepf 0.0005
+  done;
+  List.iter Domain.join ds;
+  Lf_kernel.Lane.clear ();
+  let after = sample () in
+  let counters =
+    List.map
+      (fun (k, v) ->
+        match List.assoc_opt k base with
+        | Some v0 -> (k, v - v0)
+        | None -> (k, v))
+      after
+  in
+  let is_victim i = List.mem_assoc i victims in
+  let crashed = ref [] in
+  for i = domains - 1 downto 0 do
+    if Atomic.get state.(i) = 2 then crashed := i :: !crashed
+  done;
+  let starved = ref [] in
+  for i = domains - 1 downto 0 do
+    if (not (is_victim i)) && worst.(i) > budget_s then
+      starved := (i, worst.(i)) :: !starved
+  done;
+  let survivor i = (not (is_victim i)) && Atomic.get state.(i) <> 2 in
+  let survivors = ref 0 and survivor_ops = ref 0 in
+  for i = 0 to domains - 1 do
+    if survivor i then begin
+      incr survivors;
+      survivor_ops := !survivor_ops + ops_at_close.(i)
+    end
+  done;
+  let elapsed = !close_t -. t0 in
+  {
+    c_impl = name;
+    c_domains = domains;
+    c_window_s = elapsed;
+    c_budget_s = budget_s;
+    c_ops = ops_at_close;
+    c_crashed = !crashed;
+    c_worst_latency_s = worst;
+    c_starved = !starved;
+    c_watchdog_tripped = !starved <> [];
+    c_survivors = !survivors;
+    c_survivor_ops = !survivor_ops;
+    c_survivor_ops_per_s =
+      (if elapsed > 0. then float_of_int !survivor_ops /. elapsed else 0.);
+    c_counters = counters;
+  }
+
+exception Lane_crashed
+
+(* Recorded chaos burst: completed operations go into the history;
+   operations cut short by an injected crash come back in a second list
+   with [ret = max_int] (still pending — possibly helped to completion by
+   survivors, possibly not).  The lane stops at its crash, like a crashed
+   process in the paper's model. *)
+let run_chaos_recorded ~(insert : int -> bool) ~(delete : int -> bool)
+    ~(find : int -> bool) ~domains ~ops_per_domain ~key_range
+    ~(mix : Opgen.mix) ~seed () : Lf_lin.History.t * Lf_lin.History.t =
+  let rec_ = Lf_lin.History.Recorder.create () in
+  let pending = Array.make domains [] in
+  let enter = barrier domains in
+  let work did =
+    Lf_kernel.Lane.set did;
+    let rng = Lf_kernel.Splitmix.create (seed + (1000 * did)) in
+    let keygen = Keygen.uniform key_range in
+    let acc = ref [] in
+    enter ();
+    (try
+       for _ = 1 to ops_per_domain do
+         let op = Opgen.draw mix keygen rng in
+         let inv = Lf_lin.History.Recorder.tick rec_ in
+         let hop =
+           match op with
+           | Opgen.Insert k -> Lf_lin.History.Insert k
+           | Delete k -> Lf_lin.History.Delete k
+           | Find k -> Lf_lin.History.Find k
+         in
+         match
+           try
+             `Ret
+               (match op with
+               | Opgen.Insert k -> insert k
+               | Delete k -> delete k
+               | Find k -> find k)
+           with Lf_fault.Fault.Crashed _ -> `Crashed
+         with
+         | `Ret ok ->
+             let ret = Lf_lin.History.Recorder.tick rec_ in
+             acc := { Lf_lin.History.pid = did; op = hop; ok; inv; ret } :: !acc
+         | `Crashed ->
+             (* [ok] is a placeholder; the pending-aware checker tries both
+                outcomes (and absence). *)
+             pending.(did) <-
+               [ { Lf_lin.History.pid = did; op = hop; ok = true; inv; ret = max_int } ];
+             raise Lane_crashed
+       done
+     with Lane_crashed -> ());
+    Lf_lin.History.Recorder.add rec_ !acc;
+    Lf_kernel.Lane.clear ()
+  in
+  let ds = List.init (domains - 1) (fun i -> Domain.spawn (fun () -> work (i + 1))) in
+  work 0;
+  List.iter Domain.join ds;
+  ( Lf_lin.History.Recorder.history rec_,
+    List.concat (Array.to_list pending) )
+
+(* A history with c crashed (pending) operations linearizes iff SOME
+   resolution of the pending ops does: each may have not taken effect at
+   all, or taken effect (directly or via a helper) with either outcome.
+   3^c combinations; keep c small. *)
+let linearizable_with_pending ?init (history : Lf_lin.History.t)
+    (pending : Lf_lin.History.t) : bool =
+  let ret_max =
+    1 + List.fold_left (fun m (e : Lf_lin.History.entry) -> max m e.ret) 0 history
+  in
+  let ok_verdict h =
+    match Lf_lin.Checker.check ?init h with
+    | Lf_lin.Checker.Linearizable -> true
+    | Not_linearizable -> false
+  in
+  let rec go chosen = function
+    | [] -> ok_verdict (history @ List.rev chosen)
+    | (p : Lf_lin.History.entry) :: rest ->
+        go chosen rest
+        || go ({ p with ok = true; ret = ret_max } :: chosen) rest
+        || go ({ p with ok = false; ret = ret_max } :: chosen) rest
+  in
+  go [] pending

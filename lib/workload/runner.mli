@@ -62,3 +62,101 @@ val run_recorded :
   Lf_lin.History.t
 (** Short recorded burst for the linearizability checker.  Keep
     [domains * ops_per_domain <= 62]. *)
+
+(** {1 Chaos runs (EXP-18)}
+
+    Multi-domain stress under an injected-fault plan (see {!Lf_fault}).
+    The structure under test arrives as closures so callers can stack any
+    memory — typically [Lf_fault.Fault_mem.Make (Atomic_mem)] with a plan
+    installed before the call and uninstalled after the joins. *)
+
+type chaos_report = {
+  c_impl : string;
+  c_domains : int;
+  c_window_s : float;  (** measured length of the throughput window *)
+  c_budget_s : float;  (** per-operation latency budget *)
+  c_ops : int array;  (** per-lane operations completed within the window *)
+  c_crashed : int list;  (** lanes stopped by an injected [Fault.Crashed] *)
+  c_worst_latency_s : float array;  (** per-lane worst observed op latency *)
+  c_starved : (int * float) list;
+      (** non-victim lanes whose worst latency exceeded the budget *)
+  c_watchdog_tripped : bool;  (** [c_starved <> []] *)
+  c_survivors : int;  (** lanes neither crashed nor victims *)
+  c_survivor_ops : int;
+  c_survivor_ops_per_s : float;
+      (** graceful-degradation metric: throughput of the surviving lanes *)
+  c_counters : (string * int) list;
+      (** deltas of the caller-supplied [sample] counters over the run *)
+}
+
+val pp_chaos_report : Format.formatter -> chaos_report -> unit
+
+val run_chaos :
+  ?victims:(int * (unit -> unit)) list ->
+  ?budget_s:float ->
+  ?window_s:float ->
+  ?sample:(unit -> (string * int) list) ->
+  name:string ->
+  insert:(int -> bool) ->
+  delete:(int -> bool) ->
+  find:(int -> bool) ->
+  domains:int ->
+  key_range:int ->
+  mix:Opgen.mix ->
+  seed:int ->
+  unit ->
+  chaos_report
+(** Prefill to 50%, barrier-start [domains] worker lanes plus a monitor,
+    run the mix for [window_s] (default 0.2s) and report.  Instead of
+    joining blindly, the monitor polls per-lane heartbeats, so a lane
+    blocked past [budget_s] (default 0.05s) is {e reported} as starved
+    rather than hanging the harness.  A lane that raises
+    [Lf_fault.Fault.Crashed] stops and is listed in [c_crashed]; its
+    half-done operation stays in the structure for survivors to help.
+
+    [victims] maps a lane index to a closure run {e instead of} the
+    workload (e.g. a [with_lock_held] stall); victim lanes are excluded
+    from starvation reporting and from survivor throughput.  Victim
+    closures must terminate on their own — OCaml domains cannot be killed,
+    so model a crashed lock holder as a stall well past the budget.
+
+    [sample] is read before and after the run; deltas are reported in
+    [c_counters] (e.g. helping counters from a counting memory, injected
+    faults from [Fault_mem.injected]).
+
+    Worker lanes are numbered [0 .. domains-1] (via [Lf_kernel.Lane]); the
+    prefill and the monitor run on lane [-1], so lane-targeted fault rules
+    never hit them.  Rules with [lane = None] do apply to the prefill —
+    avoid untargeted [Crash] rules here.
+
+    The structure's invariants are {e not} checked afterwards: crash
+    residue (a flagged predecessor, a marked-but-linked victim) is
+    legitimate here — use [Lf_check.Check_mem.check_crash_residue] for
+    what a crash may leave behind. *)
+
+val run_chaos_recorded :
+  insert:(int -> bool) ->
+  delete:(int -> bool) ->
+  find:(int -> bool) ->
+  domains:int ->
+  ops_per_domain:int ->
+  key_range:int ->
+  mix:Opgen.mix ->
+  seed:int ->
+  unit ->
+  Lf_lin.History.t * Lf_lin.History.t
+(** Recorded burst under a fault plan: [(completed, pending)].  A lane hit
+    by an injected crash stops there; its interrupted operation is returned
+    in [pending] with [ret = max_int].  Keep the total below the checker's
+    62-entry limit. *)
+
+val linearizable_with_pending :
+  ?init:Lf_lin.Checker.IntSet.t ->
+  Lf_lin.History.t ->
+  Lf_lin.History.t ->
+  bool
+(** [linearizable_with_pending history pending] holds iff some resolution
+    of the pending (crashed) operations linearizes: each pending operation
+    either never took effect, or took effect — directly or completed by a
+    helper — with either outcome.  Tries 3{^c} combinations for [c] pending
+    entries; keep [c] tiny. *)

@@ -85,3 +85,127 @@ let run_recorded ?(policy = Lf_dsim.Sim.Random 1) ~procs ~ops_per_proc
   in
   ignore (Lf_dsim.Sim.run ~policy (Array.make procs body));
   List.sort (fun a b -> compare a.Lf_lin.History.inv b.Lf_lin.History.inv) !entries
+
+(* ------------------------------------------------------------------ *)
+(* Chaos in the simulator: deterministic fault plans + step-budget     *)
+(* starvation watchdog.                                                *)
+(* ------------------------------------------------------------------ *)
+
+type sim_chaos_report = {
+  sc_procs : int;
+  sc_steps : int;
+  sc_completed : int array;  (* operations completed per process *)
+  sc_crashed : Lf_dsim.Sim.pid list;  (* stopped by injected Fault.Crashed *)
+  sc_starved : (Lf_dsim.Sim.pid * int) list;  (* parked by the watchdog *)
+  sc_watchdog_tripped : bool;
+  sc_step_budget : int;
+  sc_helps : int;  (* helping events observed across all processes *)
+  sc_injected : int;  (* faults injected, from the caller's sampler *)
+}
+
+let pp_sim_chaos_report ppf r =
+  Format.fprintf ppf "@[<v>sim-chaos: %d procs, %d steps@," r.sc_procs
+    r.sc_steps;
+  Format.fprintf ppf "  ops/proc: %a@,"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+       Format.pp_print_int)
+    (Array.to_list r.sc_completed);
+  if r.sc_crashed <> [] then
+    Format.fprintf ppf "  crashed pids: %a@,"
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " ")
+         Format.pp_print_int)
+      r.sc_crashed;
+  List.iter
+    (fun (pid, steps) ->
+      Format.fprintf ppf
+        "  STARVED pid %d: %d steps in one operation > %d budget@," pid steps
+        r.sc_step_budget)
+    r.sc_starved;
+  Format.fprintf ppf "  watchdog %s; helps %d; injected faults %d@]"
+    (if r.sc_watchdog_tripped then "TRIPPED" else "quiet")
+    r.sc_helps r.sc_injected
+
+(* The watchdog counts each process's shared-memory steps within its
+   current operation; a process exceeding [step_budget] is parked with
+   [Sim.crash] and reported, so a non-lock-free structure (e.g. the
+   [No_help] mutant spinning behind a crashed flag holder) terminates with
+   a diagnosis instead of spinning the scheduler forever.  An injected
+   [Fault.Crashed] unwinds the process body without [op_end]: the process
+   takes no further steps and its open operation is folded into the
+   result's records with [completed = false] — exactly the paper's crashed
+   process, whose flags and marks stay behind for the survivors. *)
+let run_chaos_sim ?(policy = Lf_dsim.Sim.Random 1) ?(initial_size = 0)
+    ?(step_budget = 5_000) ?max_steps ?(injected = fun () -> 0) ~procs
+    ~ops_per_proc ~key_range ~(mix : Opgen.mix) ~seed (ops : ops) :
+    sim_chaos_report =
+  let size = ref initial_size in
+  let crashed_flags = Array.make procs false in
+  let in_op_steps = Array.make procs 0 in
+  let last_completed = Array.make procs 0 in
+  let starved = ref [] in
+  let on_step st pid =
+    let done_ = Lf_dsim.Sim.ops_completed st pid in
+    if done_ <> last_completed.(pid) then begin
+      last_completed.(pid) <- done_;
+      in_op_steps.(pid) <- 0
+    end;
+    if Lf_dsim.Sim.in_operation st pid then begin
+      in_op_steps.(pid) <- in_op_steps.(pid) + 1;
+      if
+        in_op_steps.(pid) > step_budget
+        && not (Lf_dsim.Sim.is_crashed st pid)
+      then begin
+        starved := (pid, in_op_steps.(pid)) :: !starved;
+        Lf_dsim.Sim.crash st pid
+      end
+    end
+  in
+  let body pid =
+    let rng = Lf_kernel.Splitmix.create (seed + (7919 * pid)) in
+    let keygen = Keygen.uniform key_range in
+    try
+      for _ = 1 to ops_per_proc do
+        let op = Opgen.draw mix keygen rng in
+        Lf_dsim.Sim.op_begin ~n:!size;
+        (match op with
+        | Opgen.Insert k -> if ops.insert k then incr size
+        | Opgen.Delete k -> if ops.delete k then decr size
+        | Opgen.Find k -> ignore (ops.find k));
+        Lf_dsim.Sim.op_end ()
+      done
+    with Lf_fault.Fault.Crashed _ -> crashed_flags.(pid) <- true
+  in
+  let injected_before = injected () in
+  let result =
+    match max_steps with
+    | Some m ->
+        Lf_dsim.Sim.run ~policy ~max_steps:m ~on_step (Array.make procs body)
+    | None -> Lf_dsim.Sim.run ~policy ~on_step (Array.make procs body)
+  in
+  let completed = Array.make procs 0 in
+  List.iter
+    (fun (o : Lf_dsim.Sim.op_record) ->
+      if o.completed then completed.(o.op_pid) <- completed.(o.op_pid) + 1)
+    result.ops;
+  let helps =
+    Array.fold_left
+      (fun acc (c : Lf_kernel.Counters.t) -> acc + c.helps)
+      0 result.per_proc
+  in
+  let crashed = ref [] in
+  for pid = procs - 1 downto 0 do
+    if crashed_flags.(pid) then crashed := pid :: !crashed
+  done;
+  {
+    sc_procs = procs;
+    sc_steps = result.steps;
+    sc_completed = completed;
+    sc_crashed = !crashed;
+    sc_starved = List.rev !starved;
+    sc_watchdog_tripped = !starved <> [];
+    sc_step_budget = step_budget;
+    sc_helps = helps;
+    sc_injected = injected () - injected_before;
+  }

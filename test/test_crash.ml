@@ -2,47 +2,46 @@
    failures of individual processes do not block the progress of other
    processes in the system").
 
-   The simulator makes this testable systematically: park a victim process
-   forever at step k of its operation - for EVERY k - and require that the
-   surviving processes complete their own operations, that the final
-   structure is valid, and that the combined history (with the victim's
-   pending operation removed or completed-by-helping) stays consistent.
+   The crash-bounded exploration (Explore.run_crash) makes this systematic:
+   a crash is a scheduling choice, so the DFS kills the victim process at
+   EVERY point of its operation and requires that the survivors complete
+   their own operations, that the final structure is valid, and that the
+   victim's half-done operation either never took effect or was helped to
+   completion.
 
-   A parked process models a crashed one exactly: it stops taking steps but
-   any flag/mark it has already installed stays behind, which is precisely
-   the state helping must recover from. *)
+   A crashed process stops taking steps but any flag/mark it has already
+   installed stays behind, which is precisely the state helping must
+   recover from. *)
 
 module Sim = Lf_dsim.Sim
+module Explore = Lf_dsim.Explore
 module FRS = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
 module SLS = Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
 module HarrisS = Lf_baselines.Harris_list.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
 
-(* Run [victim] and [survivor] under a policy that parks the victim forever
-   after it has taken [k] steps; the survivor must finish.  Returns whether
-   the victim had already finished by then, plus the survivor steps. *)
-let run_with_crash ~k ~victim ~survivor ~validate =
-  let policy st =
-    let victim_steps =
-      let c = Sim.counters st 0 in
-      c.Lf_kernel.Counters.reads + c.Lf_kernel.Counters.writes
-      + Lf_kernel.Counters.total_cas_attempts c
-    in
-    if (not (Sim.is_finished st 0)) && victim_steps < k then Some 0
-    else if not (Sim.is_finished st 1) then Some 1
-    else None
+(* Exhaustive single-crash sweep over pid 0 (the designated victim): every
+   schedule where the victim dies at some step, plus the crash-free base
+   schedule.  Any oracle failure reports the forced-choice prefix that
+   reproduces it. *)
+let sweep_single_crash ~name mk =
+  let out =
+    Explore.run_crash ~max_preemptions:0 ~max_crashes:1 ~crashable:[ 0 ]
+      ~max_steps:2_000_000 mk
   in
-  let res =
-    Sim.run ~policy:(Sim.Custom policy) ~max_steps:2_000_000
-      [| victim; survivor |]
-  in
-  validate ();
-  ignore res
-
-(* How many steps does the victim's op take when run alone?  Used to bound
-   the crash-point sweep. *)
-let steps_alone body =
-  let res = Sim.run [| body |] in
-  res.steps
+  (match out.Explore.c_failures with
+  | [] -> ()
+  | (prefix, msg) :: _ ->
+      Alcotest.failf "%s: %d/%d crash schedules failed; first: %s [%s]" name
+        (List.length out.Explore.c_failures)
+        out.Explore.c_schedules_run msg
+        (String.concat " " (List.map Explore.choice_to_string prefix)));
+  Alcotest.(check bool)
+    (name ^ ": sweep not truncated")
+    false out.Explore.c_truncated;
+  Alcotest.(check bool)
+    (name ^ ": swept several crash points")
+    true
+    (out.Explore.c_schedules_run > 5)
 
 let test_fr_list_deleter_crashes_everywhere () =
   (* Victim deletes 20 from [10;20;30]; survivor then inserts 15 and 25 and
@@ -50,65 +49,56 @@ let test_fr_list_deleter_crashes_everywhere () =
      complete, and key 20 must be either present (deletion never reached
      its linearization point) or absent - with the structure always
      traversable and sorted. *)
-  let build () =
-    let t = FRS.create () in
-    ignore
-      (Sim.run
-         [| (fun _ -> List.iter (fun k -> ignore (FRS.insert t k 0)) [ 10; 20; 30 ]) |]);
-    t
-  in
-  let total = steps_alone (fun _ -> ignore (FRS.delete (build ()) 20)) in
-  Alcotest.(check bool) "victim op takes steps" true (total > 5);
-  for k = 0 to total do
-    let t = build () in
-    let victim _ = ignore (FRS.delete t 20) in
-    let survivor _ =
-      ignore (FRS.insert t 15 1);
-      ignore (FRS.insert t 25 1);
-      ignore (FRS.mem t 30)
-    in
-    run_with_crash ~k ~victim ~survivor ~validate:(fun () ->
+  sweep_single_crash ~name:"fr-list deleter" (fun () ->
+      let t = FRS.create () in
+      Sim.quiet (fun () ->
+          List.iter (fun k -> ignore (FRS.insert t k 0)) [ 10; 20; 30 ]);
+      let bodies =
+        [|
+          (fun _ -> ignore (FRS.delete t 20));
+          (fun _ ->
+            ignore (FRS.insert t 15 1);
+            ignore (FRS.insert t 25 1);
+            ignore (FRS.mem t 30));
+        |]
+      in
+      let oracle ~crashed =
         Sim.quiet (fun () ->
-            (* Survivor completed: its keys are present; list stays sorted
-               and traversable.  INV 3/4 still hold on whatever is left. *)
             let l = FRS.to_list t in
-            if not (List.mem_assoc 15 l && List.mem_assoc 25 l) then
-              Alcotest.failf "crash at %d: survivor lost inserts" k;
-            if not (List.mem_assoc 10 l && List.mem_assoc 30 l) then
-              Alcotest.failf "crash at %d: bystander keys lost" k;
-            match FRS.Debug.check_now t with
-            | Ok () -> ()
-            | Error m -> Alcotest.failf "crash at %d: %s" k m))
-  done
+            let has k = List.mem_assoc k l in
+            if not (has 15 && has 25) then Error "survivor inserts lost"
+            else if not (has 10 && has 30) then Error "bystander keys lost"
+            else if (not (List.mem 0 crashed)) && has 20 then
+              Error "completed deletion left its key behind"
+            else FRS.Debug.check_now t)
+      in
+      (bodies, oracle))
 
 let test_fr_list_inserter_crashes_everywhere () =
-  let build () =
-    let t = FRS.create () in
-    ignore
-      (Sim.run
-         [| (fun _ -> List.iter (fun kk -> ignore (FRS.insert t kk 0)) [ 10; 30 ]) |]);
-    t
-  in
-  let total = steps_alone (fun _ -> ignore (FRS.insert (build ()) 20 9)) in
-  for k = 0 to total do
-    let t = build () in
-    let victim _ = ignore (FRS.insert t 20 9) in
-    let survivor _ =
-      ignore (FRS.delete t 10);
-      ignore (FRS.insert t 5 1);
-      ignore (FRS.mem t 20)
-    in
-    run_with_crash ~k ~victim ~survivor ~validate:(fun () ->
+  sweep_single_crash ~name:"fr-list inserter" (fun () ->
+      let t = FRS.create () in
+      Sim.quiet (fun () ->
+          List.iter (fun kk -> ignore (FRS.insert t kk 0)) [ 10; 30 ]);
+      let bodies =
+        [|
+          (fun _ -> ignore (FRS.insert t 20 9));
+          (fun _ ->
+            ignore (FRS.delete t 10);
+            ignore (FRS.insert t 5 1);
+            ignore (FRS.mem t 20));
+        |]
+      in
+      let oracle ~crashed =
         Sim.quiet (fun () ->
             let l = FRS.to_list t in
-            if not (List.mem_assoc 5 l) then
-              Alcotest.failf "crash at %d: survivor insert lost" k;
-            if List.mem_assoc 10 l then
-              Alcotest.failf "crash at %d: survivor delete lost" k;
-            match FRS.Debug.check_now t with
-            | Ok () -> ()
-            | Error m -> Alcotest.failf "crash at %d: %s" k m))
-  done
+            let has k = List.mem_assoc k l in
+            if not (has 5) then Error "survivor insert lost"
+            else if has 10 then Error "survivor delete lost"
+            else if (not (List.mem 0 crashed)) && not (has 20) then
+              Error "completed insert lost its key"
+            else FRS.Debug.check_now t)
+      in
+      (bodies, oracle))
 
 (* The critical case: the victim dies holding a FLAG.  Survivors must help
    the deletion through and unflag - the flag can never become a lock. *)
@@ -123,23 +113,23 @@ let test_crashed_flag_holder_cannot_block () =
     ignore (FRS.insert t 15 1);
     ignore (FRS.delete t 10)
   in
-  let parked = ref false in
+  (* Park the victim (Sim.crash) the moment its TRYFLAG has succeeded. *)
   let policy st =
-    if not !parked then begin
+    if Sim.is_crashed st 0 then
+      if not (Sim.is_finished st 1) then Some 1 else None
+    else begin
       let c = Sim.counters st 0 in
       if
         c.Lf_kernel.Counters.cas_successes.(Lf_kernel.Counters.kind_index
                                               Lf_kernel.Mem_event.Flagging)
         >= 1
       then begin
-        parked := true;
+        Sim.crash st 0;
         Some 1
       end
       else if Sim.is_finished st 0 then None
       else Some 0
     end
-    else if not (Sim.is_finished st 1) then Some 1
-    else None
   in
   ignore (Sim.run ~policy:(Sim.Custom policy) [| victim; survivor |]);
   Sim.quiet (fun () ->
@@ -148,137 +138,190 @@ let test_crashed_flag_holder_cannot_block () =
       FRS.check_invariants t)
 
 let test_skiplist_deleter_crashes_everywhere () =
-  let build () =
-    let t = SLS.create_with ~max_level:4 () in
-    ignore
-      (Sim.run
-         [|
-           (fun _ ->
-             ignore (SLS.insert_with_height t ~height:3 10 0);
-             ignore (SLS.insert_with_height t ~height:4 20 0);
-             ignore (SLS.insert_with_height t ~height:2 30 0));
-         |]);
-    t
-  in
-  let total = steps_alone (fun _ -> ignore (SLS.delete (build ()) 20)) in
-  (* Sweep a sample of crash points (every step is slow for tall towers). *)
-  let k = ref 0 in
-  while !k <= total do
-    let t = build () in
-    let victim _ = ignore (SLS.delete t 20) in
-    let survivor _ =
-      ignore (SLS.insert_with_height t ~height:3 15 1);
-      ignore (SLS.insert_with_height t ~height:2 25 1);
-      ignore (SLS.mem t 30)
-    in
-    run_with_crash ~k:!k ~victim ~survivor ~validate:(fun () ->
+  sweep_single_crash ~name:"fr-skiplist deleter" (fun () ->
+      let t = SLS.create_with ~max_level:4 () in
+      Sim.quiet (fun () ->
+          ignore (SLS.insert_with_height t ~height:3 10 0);
+          ignore (SLS.insert_with_height t ~height:4 20 0);
+          ignore (SLS.insert_with_height t ~height:2 30 0));
+      let bodies =
+        [|
+          (fun _ -> ignore (SLS.delete t 20));
+          (fun _ ->
+            ignore (SLS.insert_with_height t ~height:3 15 1);
+            ignore (SLS.insert_with_height t ~height:2 25 1);
+            ignore (SLS.mem t 30));
+        |]
+      in
+      let oracle ~crashed =
         Sim.quiet (fun () ->
             let l = SLS.to_list t in
-            if not (List.mem_assoc 15 l && List.mem_assoc 25 l) then
-              Alcotest.failf "crash at %d: survivor inserts lost" !k;
-            if not (List.mem_assoc 10 l && List.mem_assoc 30 l) then
-              Alcotest.failf "crash at %d: bystanders lost" !k));
-    k := !k + 1
-  done
+            let has k = List.mem_assoc k l in
+            if not (has 15 && has 25) then Error "survivor inserts lost"
+            else if not (has 10 && has 30) then Error "bystanders lost"
+            else if (not (List.mem 0 crashed)) && has 20 then
+              Error "completed deletion left its key behind"
+            else Ok ())
+      in
+      (bodies, oracle))
 
 let test_harris_crashes_everywhere () =
   (* Harris is also lock-free; the suite doubles as a baseline sanity
      check. *)
-  let build () =
-    let t = HarrisS.create () in
-    ignore
-      (Sim.run
-         [| (fun _ -> List.iter (fun k -> ignore (HarrisS.insert t k 0)) [ 10; 20; 30 ]) |]);
-    t
-  in
-  let total = steps_alone (fun _ -> ignore (HarrisS.delete (build ()) 20)) in
-  for k = 0 to total do
-    let t = build () in
-    let victim _ = ignore (HarrisS.delete t 20) in
-    let survivor _ =
-      ignore (HarrisS.insert t 15 1);
-      ignore (HarrisS.insert t 25 1)
-    in
-    run_with_crash ~k ~victim ~survivor ~validate:(fun () ->
+  sweep_single_crash ~name:"harris deleter" (fun () ->
+      let t = HarrisS.create () in
+      Sim.quiet (fun () ->
+          List.iter (fun k -> ignore (HarrisS.insert t k 0)) [ 10; 20; 30 ]);
+      let bodies =
+        [|
+          (fun _ -> ignore (HarrisS.delete t 20));
+          (fun _ ->
+            ignore (HarrisS.insert t 15 1);
+            ignore (HarrisS.insert t 25 1));
+        |]
+      in
+      let oracle ~crashed:_ =
         Sim.quiet (fun () ->
             let l = HarrisS.to_list t in
-            if not (List.mem_assoc 15 l && List.mem_assoc 25 l) then
-              Alcotest.failf "crash at %d: survivor inserts lost" k))
-  done
+            if List.mem_assoc 15 l && List.mem_assoc 25 l then Ok ()
+            else Error "survivor inserts lost")
+      in
+      (bodies, oracle))
 
 module FraserS =
   Lf_skiplist.Fraser_skiplist.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
 
 let test_fraser_deleter_crashes_everywhere () =
-  let build () =
-    let t = FraserS.create_with ~max_level:4 () in
-    Sim.quiet (fun () ->
-        ignore (FraserS.insert_with_height t ~height:3 10 0);
-        ignore (FraserS.insert_with_height t ~height:4 20 0);
-        ignore (FraserS.insert_with_height t ~height:2 30 0));
-    t
-  in
-  let total = steps_alone (fun _ -> ignore (FraserS.delete (build ()) 20)) in
-  for k = 0 to total do
-    let t = build () in
-    let victim _ = ignore (FraserS.delete t 20) in
-    let survivor _ =
-      ignore (FraserS.insert_with_height t ~height:2 15 1);
-      ignore (FraserS.insert_with_height t ~height:3 25 1);
-      ignore (FraserS.mem t 30)
-    in
-    run_with_crash ~k ~victim ~survivor ~validate:(fun () ->
+  sweep_single_crash ~name:"fraser deleter" (fun () ->
+      let t = FraserS.create_with ~max_level:4 () in
+      Sim.quiet (fun () ->
+          ignore (FraserS.insert_with_height t ~height:3 10 0);
+          ignore (FraserS.insert_with_height t ~height:4 20 0);
+          ignore (FraserS.insert_with_height t ~height:2 30 0));
+      let bodies =
+        [|
+          (fun _ -> ignore (FraserS.delete t 20));
+          (fun _ ->
+            ignore (FraserS.insert_with_height t ~height:2 15 1);
+            ignore (FraserS.insert_with_height t ~height:3 25 1);
+            ignore (FraserS.mem t 30));
+        |]
+      in
+      let oracle ~crashed:_ =
         Sim.quiet (fun () ->
             let l = FraserS.to_list t in
-            if not (List.mem_assoc 15 l && List.mem_assoc 25 l) then
-              Alcotest.failf "crash at %d: survivor inserts lost" k;
-            if not (List.mem_assoc 10 l && List.mem_assoc 30 l) then
-              Alcotest.failf "crash at %d: bystanders lost" k))
-  done
+            let has k = List.mem_assoc k l in
+            if not (has 15 && has 25) then Error "survivor inserts lost"
+            else if not (has 10 && has 30) then Error "bystanders lost"
+            else Ok ())
+      in
+      (bodies, oracle))
+
+(* The dictionary fronts built on the FR structures inherit the liveness:
+   a crashed deleter in a hash-table bucket or a crashed pop_min cannot
+   block the survivors. *)
+module HT = Lf_hashtable.Make (Lf_hashtable.Int_key) (Lf_dsim.Sim_mem)
+
+let test_hashtable_deleter_crashes_everywhere () =
+  sweep_single_crash ~name:"hashtable deleter" (fun () ->
+      (* One bucket, so the victim's residue sits on the survivor's path. *)
+      let t = HT.create_with ~buckets:1 () in
+      Sim.quiet (fun () ->
+          List.iter (fun k -> ignore (HT.insert t k 0)) [ 10; 20; 30 ]);
+      let bodies =
+        [|
+          (fun _ -> ignore (HT.delete t 20));
+          (fun _ ->
+            ignore (HT.insert t 15 1);
+            ignore (HT.insert t 25 1);
+            ignore (HT.mem t 30));
+        |]
+      in
+      let oracle ~crashed =
+        Sim.quiet (fun () ->
+            let has k = HT.mem t k in
+            if not (has 15 && has 25) then Error "survivor inserts lost"
+            else if not (has 10 && has 30) then Error "bystanders lost"
+            else if (not (List.mem 0 crashed)) && has 20 then
+              Error "completed deletion left its key behind"
+            else Ok ())
+      in
+      (bodies, oracle))
+
+module PQ = Lf_pqueue.Pqueue.Make (Lf_kernel.Ordered.Int) (Lf_dsim.Sim_mem)
+
+let test_pqueue_popper_crashes_everywhere () =
+  sweep_single_crash ~name:"pqueue popper" (fun () ->
+      (* max_level = 1: [push] normally draws tower heights from a global
+         coin-flip stream, which Explore replays cannot tolerate; at level
+         1 no flips are consumed and the scenario stays deterministic. *)
+      let t = PQ.create ~max_level:1 () in
+      Sim.quiet (fun () ->
+          List.iter (fun k -> ignore (PQ.push t k k)) [ 10; 20; 30 ]);
+      let pops = ref [] in
+      let bodies =
+        [|
+          (fun _ -> ignore (PQ.pop_min t));
+          (fun _ ->
+            ignore (PQ.push t 15 15);
+            (match PQ.pop_min t with
+            | Some (k, _) -> pops := k :: !pops
+            | None -> ());
+            match PQ.pop_min t with
+            | Some (k, _) -> pops := k :: !pops
+            | None -> ());
+        |]
+      in
+      let oracle ~crashed:_ =
+        Sim.quiet (fun () ->
+            (* 4 elements total (3 prefilled + 1 pushed); the crashed
+               popper claims at most one.  The survivor runs after the
+               crash, so its two pops must both succeed, in increasing
+               priority order, and conservation must hold. *)
+            let claimed = List.rev !pops in
+            let remaining = PQ.length t in
+            match claimed with
+            | [ a; b ] when a >= b -> Error "survivor pops out of order"
+            | [ _; _ ] ->
+                if remaining < 1 || remaining > 2 then
+                  Error
+                    (Printf.sprintf "conservation: %d left after 2 pops"
+                       remaining)
+                else Ok ()
+            | _ -> Error "survivor pops ran dry")
+      in
+      (bodies, oracle))
 
 (* Random crash storms: several victims die at random points mid-operation
-   while survivors keep going; conservation holds among completed ops. *)
+   (via Sim.crash from on_step) while survivors keep going; the physical
+   chain stays healthy. *)
 let test_random_crash_storm () =
   List.iter
     (fun seed ->
       let t = FRS.create () in
-      let net = ref 0 in
-      let completed = ref 0 in
-      let victim pid =
+      let body pid =
         let rng = Lf_kernel.Splitmix.create (seed + pid) in
         for _ = 1 to 20 do
           let k = Lf_kernel.Splitmix.int rng 16 in
-          if Lf_kernel.Splitmix.bool rng then begin
-            if FRS.insert t k pid then incr net
-          end
-          else if FRS.delete t k then decr net;
-          incr completed
+          if Lf_kernel.Splitmix.bool rng then ignore (FRS.insert t k pid)
+          else ignore (FRS.delete t k)
         done
       in
       let rng = Lf_kernel.Splitmix.create (seed * 31) in
       let kill_at = Array.init 2 (fun _ -> 30 + Lf_kernel.Splitmix.int rng 200) in
-      let policy st =
-        (* pids 0,1 are victims killed after kill_at.(pid) steps; 2,3 run
-           to completion. *)
-        let steps pid =
+      (* pids 0,1 are victims crashed after kill_at.(pid) steps; 2,3 run to
+         completion under the seeded random policy. *)
+      let on_step st pid =
+        if pid < 2 && (not (Sim.is_crashed st pid)) then begin
           let c = Sim.counters st pid in
-          c.Lf_kernel.Counters.reads + c.Lf_kernel.Counters.writes
-          + Lf_kernel.Counters.total_cas_attempts c
-        in
-        let alive pid =
-          (not (Sim.is_finished st pid)) && (pid >= 2 || steps pid < kill_at.(pid))
-        in
-        let choices = List.filter alive [ 0; 1; 2; 3 ] in
-        match choices with
-        | [] -> None
-        | l -> Some (List.nth l (Lf_kernel.Splitmix.int rng (List.length l)))
+          let steps =
+            c.Lf_kernel.Counters.reads + c.Lf_kernel.Counters.writes
+            + Lf_kernel.Counters.total_cas_attempts c
+          in
+          if steps >= kill_at.(pid) then Sim.crash st pid
+        end
       in
-      (* The two survivors update [net]/[completed] only for their own ops;
-         victims' partial ops may or may not have taken effect, so we only
-         check structural health, not conservation. *)
-      ignore (Sim.run ~policy:(Sim.Custom policy) (Array.make 4 victim));
-      ignore !net;
-      ignore !completed;
+      ignore (Sim.run ~policy:(Sim.Random seed) ~on_step (Array.make 4 body));
       Sim.quiet (fun () ->
           match FRS.Debug.check_now t with
           | Ok () -> ()
@@ -301,6 +344,13 @@ let () =
         [
           Alcotest.test_case "deleter dies at every step" `Quick
             test_skiplist_deleter_crashes_everywhere;
+        ] );
+      ( "fronts",
+        [
+          Alcotest.test_case "hashtable deleter dies at every step" `Quick
+            test_hashtable_deleter_crashes_everywhere;
+          Alcotest.test_case "pqueue popper dies at every step" `Quick
+            test_pqueue_popper_crashes_everywhere;
         ] );
       ( "baselines",
         [

@@ -1,0 +1,25 @@
+(* Fixture for [no-fault-hooks]: references to the fault injector and
+   hand-rolled sleeps must be reported when they appear in structure code —
+   value uses, functor applications, type constructors.  Under lib/ only
+   lib/fault/ and lib/workload/ are path-exempt; harness trees (bench, bin,
+   test, tools) are outside the rule's scope entirely. *)
+
+let plan = Lf_fault.Fault.no_faults (* EXPECT: no-fault-hooks *)
+
+let crashed () =
+  raise (Lf_fault.Fault.Crashed "inline injection") (* EXPECT: no-fault-hooks *)
+
+module FM = Lf_fault.Fault_mem.Make (Lf_kernel.Atomic_mem) (* EXPECT: no-fault-hooks *)
+
+type exec_holder = { e : Lf_fault.Fault.exec } (* EXPECT: no-fault-hooks *)
+
+let stall () = Unix.sleepf 0.01 (* EXPECT: no-fault-hooks *)
+let stall_s () = Unix.sleep 1 (* EXPECT: no-fault-hooks *)
+
+(* The seam way is fine: pause goes through the memory, so Fault_mem and
+   the simulator observe it.  No marker here. *)
+module Mk (M : Lf_kernel.Mem.S) = struct
+  let backoff () = M.pause 8
+end
+
+let _ = (plan, crashed, stall, stall_s)

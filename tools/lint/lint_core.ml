@@ -24,6 +24,14 @@
      types.  Comparing against a literal or a nullary constructor
      ([s.right <> Null], [x = 0]) is allowed: no pointer chasing there.
 
+   - [no-fault-hooks]: fault injection must stay at the memory seam.  A
+     structure that mentions [Lf_fault] (or hand-rolls delays with
+     [Unix.sleep]/[sleepf]) has baked testing hooks into the algorithm;
+     under [lib/] only [lib/fault/] (the injector itself) and
+     [lib/workload/] (the chaos harnesses) may reference them.  Everything
+     else receives faults transparently through a [Fault_mem]-wrapped
+     memory.
+
    The rules are path-scoped and a small waiver table exempts known-benign
    files, each with a reason that is printed if the waiver is ever reported. *)
 
@@ -33,6 +41,7 @@ let rule_raw_atomic = "no-raw-atomic"
 let rule_raw_dls = "no-raw-dls"
 let rule_obj_magic = "no-obj-magic"
 let rule_poly_compare = "no-poly-compare"
+let rule_fault_hooks = "no-fault-hooks"
 let rule_parse_error = "parse-error"
 
 (* Directories where shared cells are allowed to be raw atomics: the kernel
@@ -41,6 +50,11 @@ let rule_parse_error = "parse-error"
    ([Lf_kernel.Hint] and [Splitmix.domain_local] are the kernel's own
    implementations of the seam). *)
 let atomic_exempt_prefixes = [ "lib/kernel/"; "test/"; "examples/"; "tools/" ]
+
+(* The only places under lib/ allowed to speak fault injection: the
+   injector itself and the chaos harnesses built on it.  Code outside lib/
+   (bench, bin, test, tools) is harness code and unrestricted. *)
+let fault_allowed_prefixes = [ "lib/fault/"; "lib/workload/" ]
 
 (* Libraries that define node types with succ/backlink pointers. *)
 let poly_scope_prefixes =
@@ -87,6 +101,8 @@ let rule_active ~all path rule =
      then not (has_prefix path atomic_exempt_prefixes)
      else if String.equal rule rule_poly_compare then
        has_prefix path poly_scope_prefixes
+     else if String.equal rule rule_fault_hooks then
+       has_prefix path [ "lib/" ] && not (has_prefix path fault_allowed_prefixes)
      else true
 
 open Parsetree
@@ -124,6 +140,15 @@ let dls_msg =
    per-domain caches) or Lf_kernel.Splitmix.domain_local (per-domain RNGs) \
    so domain-local state stays behind the kernel seam"
 
+let fault_msg =
+  "fault-injection hook outside lib/fault and lib/workload; structures must \
+   stay fault-agnostic — stack Lf_fault.Fault_mem at the memory seam and \
+   drive it from the chaos harnesses, bench or test code"
+
+let lid_is_unix_sleep = function
+  | Longident.Ldot (Longident.Lident "Unix", ("sleep" | "sleepf")) -> true
+  | _ -> false
+
 let poly_msg what =
   what
   ^ " can chase succ/backlink pointers into cycles on node types; use the \
@@ -152,6 +177,8 @@ let check_file ~all path =
     if String.equal (root_of_lid lid) "Atomic" then
       report loc rule_raw_atomic atomic_msg;
     if lid_is_dls lid then report loc rule_raw_dls dls_msg;
+    if String.equal (root_of_lid lid) "Lf_fault" || lid_is_unix_sleep lid then
+      report loc rule_fault_hooks fault_msg;
     (match lid with
     | Longident.Ldot (Lident "Obj", "magic") ->
         report loc rule_obj_magic
@@ -194,6 +221,10 @@ let check_file ~all path =
           | Pexp_ident { txt; loc } ->
               check_ident txt loc None;
               default.expr it e
+          | Pexp_construct ({ txt; loc }, _)
+            when String.equal (root_of_lid txt) "Lf_fault" ->
+              report loc rule_fault_hooks fault_msg;
+              default.expr it e
           | _ -> default.expr it e);
       module_expr =
         (fun it me ->
@@ -203,6 +234,9 @@ let check_file ~all path =
               report loc rule_raw_atomic atomic_msg
           | Pmod_ident { txt; loc } when lid_is_dls txt ->
               report loc rule_raw_dls dls_msg
+          | Pmod_ident { txt; loc }
+            when String.equal (root_of_lid txt) "Lf_fault" ->
+              report loc rule_fault_hooks fault_msg
           | _ -> ());
           default.module_expr it me);
       typ =
@@ -213,6 +247,9 @@ let check_file ~all path =
               report loc rule_raw_atomic atomic_msg
           | Ptyp_constr ({ txt; loc }, _) when lid_is_dls txt ->
               report loc rule_raw_dls dls_msg
+          | Ptyp_constr ({ txt; loc }, _)
+            when String.equal (root_of_lid txt) "Lf_fault" ->
+              report loc rule_fault_hooks fault_msg
           | _ -> ());
           default.typ it ty);
     }
