@@ -1,10 +1,14 @@
 (* Machine-readable benchmark output.
 
-   Experiments call [emit ~exp row] for every measurement; when the harness
-   was given [--json <dir>], [flush_all] writes one BENCH_<exp>.json per
-   experiment (a JSON array of flat objects).  Without [--json] the calls
-   are no-ops, so table output stays the only cost. *)
+   Experiments call [emit ~exp row] (or [emit_part] when one experiment
+   has several tables) for every measurement; when the harness was given
+   [--json [dir]], [flush_all] writes one BENCH_<exp>.json per experiment
+   (a JSON array of flat objects).  Without [--json] the calls are no-ops,
+   so table output stays the only cost.  Every row carries a ["quick"]
+   field, so downstream consumers can tell smoke-sized measurements from
+   full ones without tracking how the harness was invoked. *)
 
+let default_dir = "bench/results"
 let dir : string option ref = ref None
 let quick : bool ref = ref false
 
@@ -43,7 +47,17 @@ let emit ~exp (row : (string * v) list) =
             Hashtbl.add rows exp r;
             r
       in
+      (* Self-tag: quick (smoke-sized) measurements must not be mistaken
+         for full ones by whatever reads the file later. *)
+      let row =
+        if List.mem_assoc "quick" row then row else row @ [ ("quick", B !quick) ]
+      in
       cell := row :: !cell
+
+(* The shared emit path for experiments whose output has several tables:
+   one BENCH_<exp>.json, rows discriminated by a leading "part" field. *)
+let emit_part ~exp ~part (row : (string * v) list) =
+  emit ~exp (("part", S part) :: row)
 
 let flush_all () =
   match !dir with

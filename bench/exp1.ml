@@ -29,6 +29,16 @@ let run () =
             [ 1; 2; 3 ];
           let ratio = float_of_int !essential /. float_of_int (max 1 !bound) in
           if ratio > !worst then worst := ratio;
+          Bench_json.emit ~exp:"exp1"
+            Bench_json.
+              [
+                ("q", I q);
+                ("n0", I n0);
+                ("ops", I !nops);
+                ("essential", I !essential);
+                ("bound", I !bound);
+                ("ratio", F ratio);
+              ];
           Tables.row widths
             [
               string_of_int q;

@@ -146,6 +146,14 @@ let run () =
           | Lf_lin.Checker.Linearizable -> incr passed
           | Lf_lin.Checker.Not_linearizable -> all_ok := false)
         (seeds 30 1000);
+      Bench_json.emit_part ~exp:"exp10" ~part:"battery"
+        Bench_json.
+          [
+            ("impl", S tgt.sname);
+            ("source", S "sim");
+            ("checked", I !total);
+            ("passed", I !passed);
+          ];
       Tables.row widths
         [ tgt.sname; "sim schedules"; string_of_int !total; string_of_int !passed ])
     sim_targets;
@@ -166,6 +174,14 @@ let run () =
           | Lf_lin.Checker.Linearizable -> incr passed
           | Lf_lin.Checker.Not_linearizable -> all_ok := false)
         (seeds 10 2000);
+      Bench_json.emit_part ~exp:"exp10" ~part:"battery"
+        Bench_json.
+          [
+            ("impl", S D.name);
+            ("source", S "domains");
+            ("checked", I !total);
+            ("passed", I !passed);
+          ];
       Tables.row widths
         [ D.name; "real domains"; string_of_int !total; string_of_int !passed ])
     domain_targets;

@@ -24,6 +24,13 @@ let throughput_part () =
               ~domains:2 ~ops_per_domain:20_000 ~key_range
               ~mix:Lf_workload.Opgen.mixed ~seed:7 ()
           in
+          Bench_json.emit_part ~exp:"exp11" ~part:"throughput"
+            Bench_json.
+              [
+                ("impl", S r.impl);
+                ("key_range", I key_range);
+                ("ops_per_s", F r.ops_per_s);
+              ];
           Tables.row widths
             [
               r.impl;
@@ -62,12 +69,11 @@ let steps_part () =
           ~mix:{ insert_pct = 25; delete_pct = 25 }
           ~seed:5 ops
       in
+      let steps_per_op = float_of_int (Sim.total_essential res) /. 300.0 in
+      Bench_json.emit_part ~exp:"exp11" ~part:"bucket_scaling"
+        Bench_json.[ ("buckets", I buckets); ("steps_per_op", F steps_per_op) ];
       Tables.row widths
-        [
-          string_of_int buckets;
-          Printf.sprintf "%.1f"
-            (float_of_int (Sim.total_essential res) /. 300.0);
-        ])
+        [ string_of_int buckets; Printf.sprintf "%.1f" steps_per_op ])
     [ 1; 4; 16; 64; 256 ];
   Tables.note "steps/op ~ n/buckets + O(1): doubling buckets halves the walk."
 

@@ -26,24 +26,25 @@ let run () =
   Tables.row widths [ "impl"; "dom"; "kops/s" ];
   List.iter
     (fun domains ->
+      let emit_row (name, rate) =
+        Bench_json.emit ~exp:"exp12"
+          Bench_json.
+            [ ("impl", S name); ("domains", I domains); ("kops_per_s", F rate) ];
+        Tables.row widths
+          [ name; string_of_int domains; Printf.sprintf "%.0f" rate ]
+      in
       let q = Lf_pqueue.Pqueue.Stamped_atomic.create () in
-      let name, rate =
-        run_queue "fr-pqueue"
-          (fun p v -> Lf_pqueue.Pqueue.Stamped_atomic.push q p v)
-          (fun () -> Lf_pqueue.Pqueue.Stamped_atomic.pop_min q)
-          ~domains ~ops:30_000
-      in
-      Tables.row widths
-        [ name; string_of_int domains; Printf.sprintf "%.0f" rate ];
+      emit_row
+        (run_queue "fr-pqueue"
+           (fun p v -> Lf_pqueue.Pqueue.Stamped_atomic.push q p v)
+           (fun () -> Lf_pqueue.Pqueue.Stamped_atomic.pop_min q)
+           ~domains ~ops:30_000);
       let h = Lf_baselines.Binary_heap.Locked.create () in
-      let name, rate =
-        run_queue "locked-heap"
-          (fun p v -> Lf_baselines.Binary_heap.Locked.push h p v)
-          (fun () -> Lf_baselines.Binary_heap.Locked.pop_min h)
-          ~domains ~ops:30_000
-      in
-      Tables.row widths
-        [ name; string_of_int domains; Printf.sprintf "%.0f" rate ])
+      emit_row
+        (run_queue "locked-heap"
+           (fun p v -> Lf_baselines.Binary_heap.Locked.push h p v)
+           (fun () -> Lf_baselines.Binary_heap.Locked.pop_min h)
+           ~domains ~ops:30_000))
     [ 1; 2; 4 ];
   Tables.note
     "the lock-free queue additionally guarantees that a stalled domain";

@@ -28,6 +28,14 @@ let run () =
       let fz = S.sl_tail_adversary ~n ~q ~rounds S.fraser_sl_target in
       fr_pts := (log (float_of_int n) /. log 2.0, fr) :: !fr_pts;
       fz_pts := (log (float_of_int n) /. log 2.0, fz) :: !fz_pts;
+      Bench_json.emit_part ~exp:"exp13" ~part:"adversary"
+        Bench_json.
+          [
+            ("n", I n);
+            ("q", I q);
+            ("fr_rec_per_round", F fr);
+            ("fraser_rec_per_round", F fz);
+          ];
       Tables.row widths
         [
           string_of_int n;
@@ -47,4 +55,6 @@ let run () =
   Tables.note
     "the gap is log n, not n as for lists - why the paper leaves skip-list";
   Tables.note "worst-case complexity open (Section 4).";
+  Bench_json.emit_part ~exp:"exp13" ~part:"slopes"
+    Bench_json.[ ("fr_slope", F fr_slope); ("fraser_slope", F fz_slope) ];
   (fr_slope, fz_slope)

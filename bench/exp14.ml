@@ -112,4 +112,14 @@ let run () =
     "agreement within a few percent is expected: on one core real domains";
   Tables.note
     "interleave coarsely (few C&S failures), like a low-contention schedule.";
+  List.iter
+    (fun (structure, sim, real) ->
+      Bench_json.emit ~exp:"exp14"
+        Bench_json.
+          [
+            ("structure", S structure);
+            ("sim_steps_per_op", F sim);
+            ("real_steps_per_op", F real);
+          ])
+    [ ("fr-list", sim_list, real_list); ("fr-skiplist", sim_sl, real_sl) ];
   (sim_list, real_list, sim_sl, real_sl)

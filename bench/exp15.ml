@@ -41,6 +41,14 @@ let part_a () =
       let fr = Sc.sl_tail_adversary ~n ~q:4 ~rounds Sc.fr_sl_target in
       let st = Sc.sl_tail_adversary ~n ~q:4 ~rounds Sc.st_sl_target in
       let fz = Sc.sl_tail_adversary ~n ~q:4 ~rounds Sc.fraser_sl_target in
+      Bench_json.emit_part ~exp:"exp15" ~part:"adversary"
+        Bench_json.
+          [
+            ("n", I n);
+            ("fr_rec_per_round", F fr);
+            ("st_rec_per_round", F st);
+            ("fraser_rec_per_round", F fz);
+          ];
       Tables.row widths
         [
           string_of_int n;
@@ -163,6 +171,15 @@ let part_b () =
       let st_short = worst (make_scenario ~n ~tall_pred:false ~build:st_build) in
       let st_tall = worst (make_scenario ~n ~tall_pred:true ~build:st_build) in
       let fz = worst (make_scenario ~n ~tall_pred:false ~build:fz_build) in
+      Bench_json.emit_part ~exp:"exp15" ~part:"interference"
+        Bench_json.
+          [
+            ("n", I n);
+            ("fr", I fr);
+            ("st_short", I st_short);
+            ("st_tall", I st_tall);
+            ("fraser", I fz);
+          ];
       Tables.row widths
         [
           string_of_int n;

@@ -42,6 +42,15 @@ let run () =
           let p = throughput plain ~domains in
           let c = throughput checked ~domains in
           out := (label, domains, p, c) :: !out;
+          Bench_json.emit ~exp:"exp16"
+            Bench_json.
+              [
+                ("structure", S label);
+                ("domains", I domains);
+                ("plain_ops_per_s", F p);
+                ("checked_ops_per_s", F c);
+                ("slowdown", F (p /. c));
+              ];
           Tables.row widths
             [
               label;

@@ -191,10 +191,9 @@ let part_a () =
                         ("stores", I s.stores);
                       ]
               in
-              Bench_json.emit ~exp:"exp17"
+              Bench_json.emit_part ~exp:"exp17" ~part:"sim_steps"
                 (Bench_json.
                    [
-                     ("part", S "sim_steps");
                      ("structure", S structure);
                      ("workload", S c.workload);
                      ("hints", B hints);
@@ -203,10 +202,9 @@ let part_a () =
                    ]
                 @ stats_fields))
             [ (false, off); (true, on) ];
-          Bench_json.emit ~exp:"exp17"
+          Bench_json.emit_part ~exp:"exp17" ~part:"sim_ratio"
             Bench_json.
               [
-                ("part", S "sim_ratio");
                 ("structure", S structure);
                 ("workload", S c.workload);
                 ("off_over_on", F ratio);
@@ -265,10 +263,9 @@ let part_b () =
                   string_of_int domains;
                   Printf.sprintf "%.0f" (r.ops_per_s /. 1000.);
                 ];
-              Bench_json.emit ~exp:"exp17"
+              Bench_json.emit_part ~exp:"exp17" ~part:"wallclock"
                 Bench_json.
                   [
-                    ("part", S "wallclock");
                     ("impl", S r.impl);
                     ("workload", S workload);
                     ("domains", I domains);
@@ -321,10 +318,9 @@ let part_c () =
                   string_of_int domains;
                   Printf.sprintf "%.0f" (r.ops_per_s /. 1000.);
                 ];
-              Bench_json.emit ~exp:"exp17"
+              Bench_json.emit_part ~exp:"exp17" ~part:"batch"
                 Bench_json.
                   [
-                    ("part", S "batch");
                     ("impl", S r.impl);
                     ("batch", I batch);
                     ("domains", I domains);

@@ -311,10 +311,9 @@ let part_a () =
                   :: !failures
             end
           end;
-          Bench_json.emit ~exp:"exp18"
+          Bench_json.emit_part ~exp:"exp18" ~part:"chaos"
             Bench_json.
               [
-                ("part", S "chaos");
                 ("impl", S su.su_name);
                 ("scenario", S sc.sc_label);
                 ("domains", I r.c_domains);
@@ -440,10 +439,9 @@ let part_b () =
           :: !failures;
       if out.c_truncated then
         failures := Printf.sprintf "%s: sweep truncated" name :: !failures;
-      Bench_json.emit ~exp:"exp18"
+      Bench_json.emit_part ~exp:"exp18" ~part:"crash_sweep"
         Bench_json.
           [
-            ("part", S "crash_sweep");
             ("structure", S name);
             ("schedules", I out.c_schedules_run);
             ("failures", I (List.length out.c_failures));
@@ -518,10 +516,9 @@ let part_c () =
     ];
   Tables.note "steps-to-recover: %+d essential steps over the clean delete"
     (rec_steps - base_steps);
-  Bench_json.emit ~exp:"exp18"
+  Bench_json.emit_part ~exp:"exp18" ~part:"recover"
     Bench_json.
       [
-        ("part", S "recover");
         ("baseline_steps", I base_steps);
         ("recovery_steps", I rec_steps);
         ("clean", B (base_ok && rec_ok));
@@ -564,10 +561,9 @@ let part_d () =
           string_of_int (lookup "injected");
           string_of_int (lookup "helps");
         ];
-      Bench_json.emit ~exp:"exp18"
+      Bench_json.emit_part ~exp:"exp18" ~part:"backoff"
         Bench_json.
           [
-            ("part", S "backoff");
             ("impl", S name);
             ("domains", I 2);
             ("backoff", B backoff);

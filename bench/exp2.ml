@@ -42,6 +42,16 @@ let run () =
             S.tail_adversary ~n ~q ~rounds S.michael_list_target
           in
           shape := (n, q, fr_rec, ha_rec) :: !shape;
+          Bench_json.emit_part ~exp:"exp2" ~part:"adversary"
+            Bench_json.
+              [
+                ("n", I n);
+                ("q", I q);
+                ("rounds", I rounds);
+                ("fr_rec_per_round", F fr_rec);
+                ("harris_rec_per_round", F ha_rec);
+                ("michael_rec_per_round", F mi_rec);
+              ];
           Tables.row widths
             [
               string_of_int n;
@@ -65,4 +75,6 @@ let run () =
   Tables.note "growth of recovery cost with n (q=4, log-log slope):";
   Tables.note "  fomitchev-ruppert: %.2f (paper: ~0, constant)" fr_slope;
   Tables.note "  harris:            %.2f (paper: ~1, linear in n)" ha_slope;
+  Bench_json.emit_part ~exp:"exp2" ~part:"slopes"
+    Bench_json.[ ("fr_slope", F fr_slope); ("harris_slope", F ha_slope) ];
   (fr_slope, ha_slope)

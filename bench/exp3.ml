@@ -35,6 +35,15 @@ let run () =
       let f_avg, f_chain = S.omega_schedule ~m S.fr_omega_target in
       pts_v := (float_of_int m, v_avg) :: !pts_v;
       pts_f := (float_of_int m, f_avg) :: !pts_f;
+      Bench_json.emit_part ~exp:"exp3" ~part:"sweep"
+        Bench_json.
+          [
+            ("m", I m);
+            ("valois_avg", F v_avg);
+            ("valois_chain", I v_chain);
+            ("fr_avg", F f_avg);
+            ("fr_chain", I f_chain);
+          ];
       Tables.row widths
         [
           string_of_int m;
@@ -50,4 +59,6 @@ let run () =
   Tables.note "  valois:            %.2f (paper: ~1, Omega(m))" v_slope;
   Tables.note "  fomitchev-ruppert: %.2f (paper: ~0, O(n+c) = O(1) here)"
     f_slope;
+  Bench_json.emit_part ~exp:"exp3" ~part:"slopes"
+    Bench_json.[ ("valois_slope", F v_slope); ("fr_slope", F f_slope) ];
   (v_slope, f_slope)

@@ -96,6 +96,15 @@ let run () =
       let li = if n <= 4096 then fr_list_cost n else nan in
       sl_pts := (log (float_of_int n) /. log 2.0, sl) :: !sl_pts;
       if n <= 4096 then li_pts := (float_of_int n, li) :: !li_pts;
+      Bench_json.emit_part ~exp:"exp6" ~part:"search_cost"
+        (Bench_json.
+           [
+             ("n", I n);
+             ("fr_skiplist_steps", F sl);
+             ("pugh_steps", F pu);
+           ]
+        @ (if Float.is_nan li then []
+           else Bench_json.[ ("fr_list_steps", F li) ]));
       Tables.row widths
         [
           string_of_int n;
@@ -111,4 +120,12 @@ let run () =
     slope r2;
   Tables.note "fr-list cost vs n: log-log slope %.2f (r2=%.3f) - linear"
     li_slope li_r2;
+  Bench_json.emit_part ~exp:"exp6" ~part:"fits"
+    Bench_json.
+      [
+        ("skiplist_steps_per_level", F slope);
+        ("skiplist_r2", F r2);
+        ("list_loglog_slope", F li_slope);
+        ("list_r2", F li_r2);
+      ];
   (slope, r2)

@@ -37,6 +37,8 @@ let histogram_part () =
   let p, tv = Lf_kernel.Stats.geometric_fit h in
   Tables.note "geometric fit: p = %.4f (coin = 0.5), total variation = %.4f" p
     tv;
+  Bench_json.emit_part ~exp:"exp7" ~part:"heights"
+    Bench_json.[ ("towers", I total); ("geometric_p", F p); ("tv", F tv) ];
   (p, tv)
 
 let incomplete_part () =
@@ -112,6 +114,14 @@ let incomplete_part () =
         (Sim.run ~policy:(Sim.Random (q * 13)) ~on_step
            (Array.init q (fun _ -> body)));
       results := (q, !max_incomplete, !violations) :: !results;
+      Bench_json.emit_part ~exp:"exp7" ~part:"incomplete"
+        Bench_json.
+          [
+            ("q", I q);
+            ("max_incomplete", I !max_incomplete);
+            ("max_active", I !max_active);
+            ("violations", I !violations);
+          ];
       Tables.row widths
         [
           string_of_int q;

@@ -115,6 +115,9 @@ let deterministic_part () =
   Tables.note "flags:    same schedule produces stale backlink: %b" stale_f;
   Tables.note "flags:    INV 3/4 violation observed at any step: %s"
     (match inv_f with None -> "none" | Some e -> e);
+  Bench_json.emit_part ~exp:"exp8" ~part:"stale_backlink"
+    Bench_json.
+      [ ("flagless_stale", B stale_nf); ("flags_stale", B stale_f) ];
   (stale_nf, stale_f)
 
 let statistical_part () =
@@ -155,6 +158,17 @@ let statistical_part () =
                 ops_rec.ops)
             [ 1; 2; 3; 4; 5 ];
           out := (use_flags, q, !total_bl, !max_bl) :: !out;
+          Bench_json.emit_part ~exp:"exp8" ~part:"backlink_walks"
+            Bench_json.
+              [
+                ("mode", S (if use_flags then "flags" else "noflag"));
+                ("q", I q);
+                ("backlinks", I !total_bl);
+                ("essential", I !total_es);
+                ("mean_bl_per_op",
+                 F (float_of_int !total_bl /. float_of_int !ops));
+                ("max_bl_per_op", I !max_bl);
+              ];
           Tables.row widths
             [
               (if use_flags then "flags" else "noflag");

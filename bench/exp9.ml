@@ -25,6 +25,15 @@ let run () =
       let h_avg, h_res = S.superfluous_mode ~help_superfluous:true ~m in
       pts_n := (float_of_int m, n_avg) :: !pts_n;
       pts_h := (float_of_int m, h_avg) :: !pts_h;
+      Bench_json.emit_part ~exp:"exp9" ~part:"sweep"
+        Bench_json.
+          [
+            ("m", I m);
+            ("no_help_avg", F n_avg);
+            ("no_help_residue", I n_res);
+            ("help_avg", F h_avg);
+            ("help_residue", I h_res);
+          ];
       Tables.row widths
         [
           string_of_int m;
@@ -40,4 +49,6 @@ let run () =
   Tables.note "growth of avg cost with m (log-log slope):";
   Tables.note "  without helping: %.2f (paper: ~1, Omega(m))" n_slope;
   Tables.note "  with helping:    %.2f (paper: ~0 / logarithmic)" h_slope;
+  Bench_json.emit_part ~exp:"exp9" ~part:"slopes"
+    Bench_json.[ ("no_help_slope", F n_slope); ("help_slope", F h_slope) ];
   (n_slope, h_slope)

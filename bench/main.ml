@@ -6,10 +6,12 @@
    `dune exec bench/main.exe -- exp2 exp3`.
 
    Flags:
-     --json <dir>   also write machine-readable BENCH_<exp>.json per
-                    experiment into <dir> (created if absent)
-     --quick        smaller op counts (CI smoke); honored by the
-                    experiments that expose it (exp17, exp18) *)
+     --json [dir]   also write machine-readable BENCH_<exp>.json per
+                    experiment into dir (default bench/results, created
+                    if absent)
+     --quick        smaller op counts (CI smoke); rows written by --json
+                    carry "quick": true so they are not mistaken for full
+                    measurements *)
 
 let experiments : (string * string * (unit -> unit)) list =
   [
@@ -32,18 +34,24 @@ let experiments : (string * string * (unit -> unit)) list =
     ("exp16", "protocol-sanitizer overhead", fun () -> ignore (Exp16.run ()));
     ("exp17", "hint-guided searches + batches", fun () -> ignore (Exp17.run ()));
     ("exp18", "graceful degradation under faults", fun () -> ignore (Exp18.run ()));
+    ("exp19", "observability overhead + contention", fun () -> ignore (Exp19.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 
 let () =
   (* Flags may appear anywhere among the experiment names. *)
+  let is_experiment n = List.exists (fun (e, _, _) -> e = n) experiments in
   let rec parse_flags acc = function
-    | "--json" :: dir :: rest ->
+    (* The directory is optional: a following token that is itself a flag
+       or an experiment name means "use the default". *)
+    | "--json" :: dir :: rest
+      when (not (String.length dir >= 2 && String.sub dir 0 2 = "--"))
+           && not (is_experiment dir) ->
         Bench_json.dir := Some dir;
         parse_flags acc rest
-    | [ "--json" ] ->
-        prerr_endline "--json requires a directory argument";
-        exit 2
+    | "--json" :: rest ->
+        Bench_json.dir := Some Bench_json.default_dir;
+        parse_flags acc rest
     | "--quick" :: rest ->
         Bench_json.quick := true;
         parse_flags acc rest

@@ -6,8 +6,13 @@
      chaos       run a workload under an injected-fault plan (--faults)
      list        show the available implementations
 
+     trace       record an execution, emit Chrome trace-event JSON
+     metrics     record an execution, emit a Prometheus text snapshot
+
    Examples:
      dune exec bin/lfdict.exe -- list
+     dune exec bin/lfdict.exe -- trace --sim --seed 7 -o out.trace.json --check
+     dune exec bin/lfdict.exe -- metrics -i fr-skiplist -d 4
      dune exec bin/lfdict.exe -- throughput -i fr-skiplist -d 4 -n 100000
      dune exec bin/lfdict.exe -- throughput -i fr-list --hints off
      dune exec bin/lfdict.exe -- throughput -i lf-hashtable --batch 64
@@ -356,9 +361,199 @@ let list_cmd =
   in
   Cmd.v (Cmd.info "list" ~doc:"List available implementations.") Term.(const run $ const ())
 
+(* ------------------------------------------------------------------ *)
+(* trace / metrics: the lf_obs observability layer from the CLI.  The
+   same structures once more, over Trace_mem (Atomic_mem) for wall-clock
+   runs and Trace_mem (Sim_mem) for deterministic ones: under --sim the
+   recorder's clock is the scheduler's step counter, so the emitted
+   Chrome trace is a pure function of the seed (CI diffs two runs
+   byte-for-byte). *)
+
+module Traced_mem = Lf_obs.Trace_mem.Make (Lf_kernel.Atomic_mem)
+module Traced_fr_list = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Traced_mem)
+module Traced_fr_skiplist =
+  Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Traced_mem)
+module Traced_hashtable = Lf_hashtable.Make (Lf_hashtable.Int_key) (Traced_mem)
+
+module Traced_sim_mem = Lf_obs.Trace_mem.Make (Lf_dsim.Sim_mem)
+module Sim_fr_list = Lf_list.Fr_list.Make (Lf_kernel.Ordered.Int) (Traced_sim_mem)
+module Sim_fr_skiplist =
+  Lf_skiplist.Fr_skiplist.Make (Lf_kernel.Ordered.Int) (Traced_sim_mem)
+module Sim_hashtable = Lf_hashtable.Make (Lf_hashtable.Int_key) (Traced_sim_mem)
+
+let traced_impls : (string * (module Lf_workload.Runner.INT_DICT)) list =
+  [
+    ("fr-list", (module Traced_fr_list));
+    ("fr-skiplist", (module Traced_fr_skiplist));
+    ("lf-hashtable", (module Traced_hashtable));
+  ]
+
+let traced_resolve impl : (module Lf_workload.Runner.INT_DICT) =
+  match List.assoc_opt impl traced_impls with
+  | Some m -> m
+  | None ->
+      Printf.eprintf "tracing is available for: %s\n"
+        (String.concat ", " (List.map fst traced_impls));
+      exit 2
+
+let sim_traced_ops impl : Lf_workload.Sim_driver.ops =
+  match impl with
+  | "fr-list" ->
+      let t = Sim_fr_list.create () in
+      {
+        insert = (fun k -> Sim_fr_list.insert t k k);
+        delete = (fun k -> Sim_fr_list.delete t k);
+        find = (fun k -> Sim_fr_list.mem t k);
+      }
+  | "fr-skiplist" ->
+      let t = Sim_fr_skiplist.create () in
+      {
+        insert = (fun k -> Sim_fr_skiplist.insert t k k);
+        delete = (fun k -> Sim_fr_skiplist.delete t k);
+        find = (fun k -> Sim_fr_skiplist.mem t k);
+      }
+  | "lf-hashtable" ->
+      let t = Sim_hashtable.create () in
+      {
+        insert = (fun k -> Sim_hashtable.insert t k k);
+        delete = (fun k -> Sim_hashtable.delete t k);
+        find = (fun k -> Sim_hashtable.mem t k);
+      }
+  | other ->
+      Printf.eprintf "tracing is available for: fr-list, fr-skiplist, \
+                      lf-hashtable (got %s)\n" other;
+      exit 2
+
+(* Run a workload with the recorder at [level]; returns the divisor that
+   converts recorder timestamps to the Chrome trace's time unit.  The
+   prefill runs with recording off so collected data covers only the
+   measured mix. *)
+let observed_run ~level ~sim ~impl ~domains ~ops ~range ~mix ~seed =
+  Lf_obs.Recorder.set_level Lf_obs.Recorder.Off;
+  Lf_obs.Recorder.reset ();
+  if sim then begin
+    Lf_obs.Recorder.set_clock Lf_obs.Recorder.Sim_steps;
+    let ops_r = sim_traced_ops impl in
+    let filled =
+      Lf_workload.Sim_driver.prefill ~key_range:range ~count:(range / 2)
+        ~seed:(seed + 1) ops_r
+    in
+    Lf_obs.Recorder.set_level level;
+    ignore
+      (Lf_workload.Sim_driver.run_mixed ~policy:(Lf_dsim.Sim.Random seed)
+         ~initial_size:filled ~procs:domains ~ops_per_proc:ops ~key_range:range
+         ~mix ~seed ops_r
+        : Lf_dsim.Sim.result);
+    Lf_obs.Recorder.set_level Lf_obs.Recorder.Off;
+    1
+  end
+  else begin
+    Lf_obs.Recorder.set_clock Lf_obs.Recorder.Real;
+    let (module D : Lf_workload.Runner.INT_DICT) = traced_resolve impl in
+    Lf_obs.Recorder.set_level level;
+    ignore
+      (Lf_workload.Runner.run_throughput
+         (module D)
+         ~domains ~ops_per_domain:ops ~key_range:range ~mix ~seed ()
+        : Lf_workload.Runner.throughput);
+    Lf_obs.Recorder.set_level Lf_obs.Recorder.Off;
+    1000 (* ns -> us, the trace format's native unit *)
+  end
+
+let write_output out text =
+  match out with
+  | "-" -> print_string text
+  | f ->
+      let oc = open_out_bin f in
+      output_string oc text;
+      close_out oc
+
+let sim_arg =
+  Arg.(
+    value & flag
+    & info [ "sim" ]
+        ~doc:
+          "Run under the deterministic simulator: lanes are simulated \
+           processes, timestamps are scheduler steps, and the output is a \
+           pure function of the seed.")
+
+let out_arg =
+  Arg.(
+    value & opt string "-"
+    & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output file ($(b,-) = stdout).")
+
+let validate_arg =
+  Arg.(
+    value & flag
+    & info [ "check" ] ~doc:"Validate the emitted output; exit 1 if malformed.")
+
+let trace_ops_arg =
+  Arg.(
+    value & opt int 300
+    & info [ "n"; "ops" ] ~docv:"N" ~doc:"Operations per lane.")
+
+let trace_cmd =
+  let run impl sim domains ops range (ins, del) seed out validate =
+    let mix = { Lf_workload.Opgen.insert_pct = ins; delete_pct = del } in
+    let time_div =
+      observed_run ~level:Lf_obs.Recorder.Tracing ~sim ~impl ~domains ~ops
+        ~range ~mix ~seed
+    in
+    let json = Lf_obs.Chrome_trace.to_string ~time_div (Lf_obs.Recorder.events ()) in
+    write_output out json;
+    if out <> "-" then
+      Printf.eprintf "wrote %s: %d events (%d dropped)\n" out
+        (Lf_obs.Recorder.event_count ())
+        (Lf_obs.Recorder.dropped ());
+    if validate then
+      match Lf_obs.Chrome_trace.check json with
+      | Ok () -> prerr_endline "trace OK"
+      | Error e ->
+          Printf.eprintf "trace INVALID: %s\n" e;
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "trace"
+       ~doc:
+         "Record an execution and emit Chrome trace-event JSON (load it in \
+          chrome://tracing or Perfetto).  With $(b,--sim) the file is \
+          byte-identical across reruns with the same seed.")
+    Term.(
+      const run $ impl_arg $ sim_arg $ domains_arg $ trace_ops_arg $ range_arg
+      $ mix_arg $ seed_arg $ out_arg $ validate_arg)
+
+let metrics_cmd =
+  let run impl sim domains ops range (ins, del) seed out validate =
+    let mix = { Lf_workload.Opgen.insert_pct = ins; delete_pct = del } in
+    ignore
+      (observed_run ~level:Lf_obs.Recorder.Histograms ~sim ~impl ~domains ~ops
+         ~range ~mix ~seed
+        : int);
+    let text = Lf_obs.Prom.snapshot () in
+    write_output out text;
+    if validate then
+      match Lf_obs.Prom.validate text with
+      | Ok () -> prerr_endline "metrics OK"
+      | Error e ->
+          Printf.eprintf "metrics INVALID: %s\n" e;
+          exit 1
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:
+         "Record an execution and emit a Prometheus text-format snapshot: \
+          operation and C&S counters, per-phase failure counts, latency \
+          quantiles.")
+    Term.(
+      const run $ impl_arg $ sim_arg $ domains_arg $ trace_ops_arg $ range_arg
+      $ mix_arg $ seed_arg $ out_arg $ validate_arg)
+
 let () =
   let info =
     Cmd.info "lfdict" ~version:"1.0"
       ~doc:"Lock-free linked lists and skip lists (Fomitchev-Ruppert, PODC'04)"
   in
-  exit (Cmd.eval (Cmd.group info [ throughput_cmd; check_cmd; chaos_cmd; list_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ throughput_cmd; check_cmd; chaos_cmd; trace_cmd; metrics_cmd; list_cmd ]))

@@ -119,6 +119,15 @@ let op_end () = Effect.perform (Sim_effect.Note Op_end)
 let running : pid option ref = ref None
 let running_pid () = !running
 
+(* Virtual clock: the number of shared-memory steps executed so far by the
+   innermost running simulation.  A pure function of the schedule, so
+   observers (the lf_obs recorder) can timestamp events deterministically -
+   identical seeds produce identical timestamps.  Reset at [run] entry;
+   restored around nested runs so a run launched from within [quiet]
+   observation code does not corrupt the outer clock. *)
+let vclock : int ref = ref 0
+let virtual_now () = !vclock
+
 (* ------------------------------------------------------------------ *)
 (* Accounting.                                                         *)
 
@@ -311,6 +320,7 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
             running := None
         | Blocked (k, cont) ->
             st.total_steps <- st.total_steps + 1;
+            vclock := st.total_steps;
             if st.total_steps > max_steps then
               raise (Step_budget_exhausted st.total_steps);
             st.procs.(pid) <- Running;
@@ -325,8 +335,12 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
         loop pid
   in
   let saved_running = !running in
+  let saved_vclock = !vclock in
+  vclock := 0;
   Fun.protect
-    ~finally:(fun () -> running := saved_running)
+    ~finally:(fun () ->
+      running := saved_running;
+      vclock := saved_vclock)
     (fun () -> loop (p - 1));
   (* Fold still-open operations into the records so that executions the
      adversary cuts short (operations held forever at a pending C&S, as in

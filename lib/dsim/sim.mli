@@ -96,6 +96,13 @@ val running_pid : unit -> pid option
     and races).  [None] outside any slice — in particular under {!quiet},
     whose accesses are setup/observation, not part of the execution. *)
 
+val virtual_now : unit -> int
+(** Virtual clock of the innermost running simulation: the number of
+    shared-memory steps executed so far.  A pure function of the schedule,
+    which is what makes simulator traces (the lf_obs recorder's timestamps)
+    byte-identical across reruns of the same seed.  Reset to [0] at {!run}
+    entry and restored around nested runs; reads [0] outside any run. *)
+
 (** {1 Running} *)
 
 exception Step_budget_exhausted of int

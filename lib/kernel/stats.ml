@@ -11,11 +11,12 @@ type summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
 let percentile sorted p =
   let n = Array.length sorted in
-  if n = 0 then nan
+  if n = 0 then invalid_arg "Stats.percentile: empty array"
   else
     let idx = p *. float_of_int (n - 1) in
     let lo = int_of_float (floor idx) and hi = int_of_float (ceil idx) in
@@ -26,7 +27,7 @@ let summarize (xs : float array) =
   let n = Array.length xs in
   if n = 0 then
     { count = 0; mean = nan; stddev = nan; min = nan; max = nan; p50 = nan;
-      p90 = nan; p99 = nan }
+      p90 = nan; p99 = nan; p999 = nan }
   else begin
     let sorted = Array.copy xs in
     Array.sort compare sorted;
@@ -45,13 +46,63 @@ let summarize (xs : float array) =
       p50 = percentile sorted 0.5;
       p90 = percentile sorted 0.9;
       p99 = percentile sorted 0.99;
+      p999 = percentile sorted 0.999;
+    }
+  end
+
+(* Histogram-friendly constructor: summarize (value, count) pairs without
+   expanding them into one float per sample.  This is how the lf_obs
+   log-bucketed latency histograms produce a [summary] (bucket midpoint,
+   bucket count), and merging histograms then summarizing commutes with
+   summarizing the merged data.  Percentiles step: the smallest value whose
+   cumulative count reaches p * total. *)
+let of_weighted (pairs : (float * int) array) =
+  let pairs = Array.of_list (List.filter (fun (_, c) -> c > 0) (Array.to_list pairs)) in
+  let n = Array.fold_left (fun a (_, c) -> a + c) 0 pairs in
+  if n = 0 then
+    { count = 0; mean = nan; stddev = nan; min = nan; max = nan; p50 = nan;
+      p90 = nan; p99 = nan; p999 = nan }
+  else begin
+    let sorted = Array.copy pairs in
+    Array.sort (fun (a, _) (b, _) -> Float.compare a b) sorted;
+    let sum =
+      Array.fold_left (fun a (v, c) -> a +. (v *. float_of_int c)) 0.0 sorted
+    in
+    let mean = sum /. float_of_int n in
+    let var =
+      Array.fold_left
+        (fun a (v, c) -> a +. (float_of_int c *. ((v -. mean) ** 2.0)))
+        0.0 sorted
+      /. float_of_int (max 1 (n - 1))
+    in
+    let pct p =
+      let target = p *. float_of_int n in
+      let rec go i acc =
+        if i >= Array.length sorted - 1 then fst sorted.(Array.length sorted - 1)
+        else
+          let acc = acc + snd sorted.(i) in
+          if float_of_int acc >= target then fst sorted.(i) else go (i + 1) acc
+      in
+      go 0 0
+    in
+    {
+      count = n;
+      mean;
+      stddev = sqrt var;
+      min = fst sorted.(0);
+      max = fst sorted.(Array.length sorted - 1);
+      p50 = pct 0.5;
+      p90 = pct 0.9;
+      p99 = pct 0.99;
+      p999 = pct 0.999;
     }
   end
 
 let pp_summary fmt s =
   Format.fprintf fmt
-    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f max=%.2f"
-    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.max
+    "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f p999=%.2f \
+     max=%.2f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.p999 s.max
 
 (* Least-squares fit of y = a + b*x; returns (a, b, r2). *)
 let linear_fit (points : (float * float) array) =

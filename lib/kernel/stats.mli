@@ -12,13 +12,26 @@ type summary = {
   p50 : float;
   p90 : float;
   p99 : float;
+  p999 : float;
 }
 
 val percentile : float array -> float -> float
 (** [percentile sorted p] with [p] in [\[0, 1\]]; linear interpolation.
-    The input must be sorted ascending. *)
+    The input must be sorted ascending.
+    @raise Invalid_argument on an empty array. *)
 
 val summarize : float array -> summary
+
+val of_weighted : (float * int) array -> summary
+(** Summarize (value, count) pairs without expanding them — the
+    histogram-friendly constructor: feed it (bucket midpoint, bucket count)
+    pairs from a log-bucketed histogram (possibly merged across domains
+    with [Lf_obs.Hist.merge_into]) and get the same [summary] record the
+    array path produces.  Percentiles are step percentiles (the smallest
+    value whose cumulative count reaches [p * total]); zero-count pairs are
+    ignored; an empty input yields [count = 0] and NaNs, like
+    {!summarize}. *)
+
 val pp_summary : Format.formatter -> summary -> unit
 
 val linear_fit : (float * float) array -> float * float * float

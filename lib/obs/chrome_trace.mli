@@ -1,0 +1,21 @@
+(** Chrome trace-event JSON exporter (loadable in chrome://tracing and
+    Perfetto): pid = domain, tid = lane, operation spans as "B"/"E"
+    pairs, C&S attempts and cost-model notes as instants, metadata rows
+    naming every pid/tid.  A pre-pass drops span edges orphaned by ring
+    overwrites, so emitted spans always pair.  With the simulator clock
+    and [time_div = 1] the output is a pure function of the seed. *)
+
+val to_buffer : ?time_div:int -> Buffer.t -> Obs_event.t list -> unit
+(** [time_div] divides recorder timestamps into the file's time unit:
+    1 (default) under the simulator, 1000 for ns -> us on real memory. *)
+
+val to_string : ?time_div:int -> Obs_event.t list -> string
+
+val check : string -> (unit, string) result
+(** Well-formedness: parses as JSON, has a [traceEvents] array, B/E
+    edges nest per (pid, tid) with matching names and ordered
+    timestamps, and every pid is named by process_name metadata. *)
+
+val cas_name : Lf_kernel.Mem_event.cas_kind -> string
+(** ["cas:flag"], ["cas:mark"], ["cas:unlink"], ... — the instant names
+    the exporter uses. *)

@@ -1,0 +1,19 @@
+(** Minimal JSON reader used by the exporter checkers and the tests —
+    parse what the string-builder writers emit, without a dependency. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | Arr of t list
+  | Obj of (string * t) list
+
+val parse : string -> (t, string) result
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] on anything else. *)
+
+val to_string_opt : t -> string option
+val to_num_opt : t -> float option
+val to_list_opt : t -> t list option

@@ -1,0 +1,244 @@
+(* Prometheus text-exposition snapshot of the recorder, plus a grammar
+   validator for it.
+
+   [snapshot ()] renders whatever the recorder currently holds — tallies
+   at [Counters] and above, latency quantiles and contention counts at
+   [Histograms] and above — as `# HELP` / `# TYPE` blocks and
+   `name{labels} value` samples, the format any Prometheus-compatible
+   scraper ingests.  Deterministic: metrics in fixed order, label sets
+   sorted by construction.
+
+   [validate] is a character-level check of the exposition grammar
+   (metric-name charset, label syntax, float-parseable values), used by
+   the tests and `lfdict metrics --check` so the exporter cannot drift
+   from what a scraper accepts. *)
+
+module C = Lf_kernel.Counters
+
+let escape_label s =
+  let buf = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | c -> Buffer.add_char buf c)
+    s;
+  Buffer.contents buf
+
+let header buf name help typ =
+  Buffer.add_string buf (Printf.sprintf "# HELP %s %s\n" name help);
+  Buffer.add_string buf (Printf.sprintf "# TYPE %s %s\n" name typ)
+
+let sample buf name labels value =
+  (match labels with
+  | [] -> Buffer.add_string buf name
+  | ls ->
+      Buffer.add_string buf name;
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_string buf k;
+          Buffer.add_string buf "=\"";
+          Buffer.add_string buf (escape_label v);
+          Buffer.add_char buf '"')
+        ls;
+      Buffer.add_char buf '}');
+  Buffer.add_char buf ' ';
+  Buffer.add_string buf value;
+  Buffer.add_char buf '\n'
+
+let int_sample buf name labels v = sample buf name labels (string_of_int v)
+
+let float_sample buf name labels v =
+  sample buf name labels (Printf.sprintf "%.6g" v)
+
+let quantiles = [ 0.5; 0.9; 0.99; 0.999 ]
+
+let snapshot () =
+  let buf = Buffer.create 2048 in
+  let tally = Recorder.tallies () in
+  header buf "lf_reads_total" "Shared-memory reads observed at the Mem.S seam"
+    "counter";
+  int_sample buf "lf_reads_total" [] tally.C.reads;
+  header buf "lf_writes_total" "Shared-memory writes observed at the Mem.S seam"
+    "counter";
+  int_sample buf "lf_writes_total" [] tally.C.writes;
+  header buf "lf_cas_attempts_total" "C&S attempts by protocol phase" "counter";
+  List.iter
+    (fun k ->
+      int_sample buf "lf_cas_attempts_total"
+        [ ("phase", Profile.phase_name (Profile.phase_index k)) ]
+        tally.C.cas_attempts.(C.kind_index k))
+    C.cas_kinds;
+  header buf "lf_cas_failures_total" "Failed C&S by protocol phase" "counter";
+  List.iter
+    (fun k ->
+      let i = C.kind_index k in
+      int_sample buf "lf_cas_failures_total"
+        [ ("phase", Profile.phase_name (Profile.phase_index k)) ]
+        (tally.C.cas_attempts.(i) - tally.C.cas_successes.(i)))
+    C.cas_kinds;
+  header buf "lf_cost_model_steps_total"
+    "Cost-model events (backlink traversals, pointer updates, retries, helps)"
+    "counter";
+  List.iter
+    (fun (kind, v) ->
+      int_sample buf "lf_cost_model_steps_total" [ ("kind", kind) ] v)
+    [
+      ("backlink", tally.C.backlink_steps);
+      ("next_update", tally.C.next_updates);
+      ("curr_update", tally.C.curr_updates);
+      ("aux", tally.C.aux_steps);
+      ("retry", tally.C.retries);
+      ("help", tally.C.helps);
+    ];
+  header buf "lf_ops_total" "Finished dictionary operations by type" "counter";
+  List.iter
+    (fun (op, n) ->
+      int_sample buf "lf_ops_total" [ ("op", Obs_event.op_to_string op) ] n)
+    (Recorder.ops_counts ());
+  header buf "lf_op_latency" "Operation latency quantiles (recorder clock units)"
+    "summary";
+  List.iter
+    (fun (op, h) ->
+      let op_l = ("op", Obs_event.op_to_string op) in
+      if Hist.count h > 0 then
+        List.iter
+          (fun q ->
+            float_sample buf "lf_op_latency"
+              [ op_l; ("quantile", Printf.sprintf "%g" q) ]
+              (Hist.percentile h q))
+          quantiles;
+      int_sample buf "lf_op_latency_sum" [ op_l ] (Hist.sum h);
+      int_sample buf "lf_op_latency_count" [ op_l ] (Hist.count h))
+    (Recorder.latencies ());
+  header buf "lf_trace_events" "Trace events retained in the ring buffers"
+    "gauge";
+  int_sample buf "lf_trace_events" [] (Recorder.event_count ());
+  header buf "lf_trace_dropped_total"
+    "Trace events lost to ring-buffer overwrites" "counter";
+  int_sample buf "lf_trace_dropped_total" [] (Recorder.dropped ());
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Grammar validator *)
+
+let is_name_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_' || c = ':'
+
+let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
+
+let is_label_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let validate_line ln line =
+  let err msg = Error (Printf.sprintf "line %d: %s (%S)" ln msg line) in
+  let n = String.length line in
+  if n = 0 then Ok ()
+  else if line.[0] = '#' then
+    (* Comment: require the structured HELP/TYPE form, which is all the
+       exporter emits. *)
+    if
+      String.length line >= 7
+      && (String.sub line 0 7 = "# HELP " || String.sub line 0 7 = "# TYPE ")
+    then Ok ()
+    else err "comment is neither # HELP nor # TYPE"
+  else begin
+    let pos = ref 0 in
+    let name_ok =
+      if n > 0 && is_name_start line.[0] then begin
+        incr pos;
+        while !pos < n && is_name_char line.[!pos] do
+          incr pos
+        done;
+        true
+      end
+      else false
+    in
+    if not name_ok then err "bad metric name"
+    else begin
+      let labels_ok = ref true in
+      let label_err = ref "" in
+      if !pos < n && line.[!pos] = '{' then begin
+        incr pos;
+        let rec labels () =
+          if !pos >= n then begin
+            labels_ok := false;
+            label_err := "unterminated label set"
+          end
+          else if line.[!pos] = '}' then incr pos
+          else begin
+            (* label name *)
+            if not (is_label_start line.[!pos]) then begin
+              labels_ok := false;
+              label_err := "bad label name"
+            end
+            else begin
+              while !pos < n && is_name_char line.[!pos] do
+                incr pos
+              done;
+              if !pos >= n || line.[!pos] <> '=' then begin
+                labels_ok := false;
+                label_err := "expected '='"
+              end
+              else begin
+                incr pos;
+                if !pos >= n || line.[!pos] <> '"' then begin
+                  labels_ok := false;
+                  label_err := "expected '\"'"
+                end
+                else begin
+                  incr pos;
+                  let closed = ref false in
+                  while (not !closed) && !pos < n do
+                    if line.[!pos] = '\\' then pos := !pos + 2
+                    else if line.[!pos] = '"' then begin
+                      closed := true;
+                      incr pos
+                    end
+                    else incr pos
+                  done;
+                  if not !closed then begin
+                    labels_ok := false;
+                    label_err := "unterminated label value"
+                  end
+                  else if !pos < n && line.[!pos] = ',' then begin
+                    incr pos;
+                    labels ()
+                  end
+                  else labels ()
+                end
+              end
+            end
+          end
+        in
+        labels ()
+      end;
+      if not !labels_ok then err !label_err
+      else if !pos >= n || line.[!pos] <> ' ' then
+        err "expected space before value"
+      else begin
+        let value = String.sub line (!pos + 1) (n - !pos - 1) in
+        let value_ok =
+          match value with
+          | "NaN" | "+Inf" | "-Inf" -> true
+          | v -> ( match float_of_string_opt v with Some _ -> true | None -> false)
+        in
+        if value_ok then Ok () else err "value is not a float"
+      end
+    end
+  end
+
+let validate (s : string) : (unit, string) result =
+  let lines = String.split_on_char '\n' s in
+  let rec go ln = function
+    | [] -> Ok ()
+    | line :: rest -> (
+        match validate_line ln line with
+        | Ok () -> go (ln + 1) rest
+        | Error _ as e -> e)
+  in
+  go 1 lines

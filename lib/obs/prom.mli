@@ -1,0 +1,12 @@
+(** Prometheus text-exposition snapshot of the recorder ([lf_*] counters,
+    per-phase C&S failures, latency quantiles, ring occupancy/drops) and
+    a character-level grammar validator for the format. *)
+
+val snapshot : unit -> string
+(** Render the recorder's current merged state.  Deterministic: fixed
+    metric order, constructed label order. *)
+
+val validate : string -> (unit, string) result
+(** Check exposition-format grammar: every line is blank, a
+    [# HELP]/[# TYPE] comment, or [name{labels} value] with a legal
+    metric name, well-formed labels, and a float-parseable value. *)

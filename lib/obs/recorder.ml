@@ -1,0 +1,282 @@
+(* The observability recorder: module-level, like [Check_mem]'s tables and
+   [Fault_mem]'s installed plan, so one [Trace_mem.Make (M)] instantiation
+   observes every structure stacked on it without threading state through
+   the functors.
+
+   Hot-path discipline.  Every recording entry point first reads the level
+   word; at [Off] it returns immediately — no domain-local lookup, no
+   allocation (the overhead smoke test in test_obs checks this with
+   [Gc.minor_words]).  Above [Off], each domain records into its own
+   [dstate] obtained via [Domain.DLS] and registered in a lock-free list
+   (the [Counting_mem] pattern), so recording never synchronizes with
+   other domains.  Collection ([tallies], [latencies], [events], ...)
+   merges the registry and is only meaningful at quiescence, after worker
+   domains have been joined.
+
+   Levels nest: [Counters] tallies accesses and finished operations;
+   [Histograms] additionally times operation spans and attributes failed
+   C&S to phase and key; [Tracing] additionally records the event stream
+   into per-domain bounded rings (oldest events overwritten, drops
+   counted).
+
+   Lanes vs domains: under the deterministic simulator many simulated
+   processes share one domain, so the per-domain span state is a small
+   table keyed by lane ([Sim.running_pid], falling back to
+   [Lf_kernel.Lane] on real domains) — the same identification
+   [Fault_mem] uses. *)
+
+module Ev = Lf_kernel.Mem_event
+module C = Lf_kernel.Counters
+
+type level = Off | Counters | Histograms | Tracing
+
+let rank = function Off -> 0 | Counters -> 1 | Histograms -> 2 | Tracing -> 3
+
+let level_to_string = function
+  | Off -> "off"
+  | Counters -> "counters"
+  | Histograms -> "histograms"
+  | Tracing -> "tracing"
+
+let level_of_string = function
+  | "off" -> Some Off
+  | "counters" -> Some Counters
+  | "histograms" -> Some Histograms
+  | "tracing" -> Some Tracing
+  | _ -> None
+
+(* The level as an int: the single word the hot path reads first. *)
+let lvl = ref 0
+let set_level l = lvl := rank l
+
+let level () =
+  match !lvl with 0 -> Off | 1 -> Counters | 2 -> Histograms | _ -> Tracing
+
+let enabled () = !lvl > 0
+
+type clock = Real | Sim_steps | Manual of (unit -> int)
+
+let real_now () = int_of_float (Unix.gettimeofday () *. 1e9)
+let now_fn = ref real_now
+
+let set_clock = function
+  | Real -> now_fn := real_now
+  | Sim_steps -> now_fn := Lf_dsim.Sim.virtual_now
+  | Manual f -> now_fn := f
+
+let now () = !now_fn ()
+
+let default_ring_capacity = 65536
+let ring_capacity = ref default_ring_capacity
+
+let set_ring_capacity n =
+  if n <= 0 then invalid_arg "Recorder.set_ring_capacity: capacity must be > 0";
+  ring_capacity := n
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain state *)
+
+type span = { sp_op : Obs_event.op; sp_key : int; sp_start : int }
+
+type dstate = {
+  dom : int;
+  tally : C.t;  (* access/cost-model tallies: the existing vocabulary *)
+  ops_tally : int array;  (* finished operations, by Obs_event.op_index *)
+  hist : Hist.t array;  (* span latencies, by Obs_event.op_index *)
+  profile : Profile.t;
+  mutable ring : Obs_event.t Ring.t;
+  spans : (int, span) Hashtbl.t;  (* lane -> open operation span *)
+  mutable seq : int;  (* per-domain event sequence; breaks ts ties *)
+}
+
+let registry : dstate list Atomic.t = Atomic.make []
+
+let make_dstate () =
+  {
+    dom = (Domain.self () :> int);
+    tally = C.create ();
+    ops_tally = Array.make Obs_event.op_count 0;
+    hist = Array.init Obs_event.op_count (fun _ -> Hist.create ());
+    profile = Profile.create ();
+    ring = Ring.create ~capacity:!ring_capacity Obs_event.dummy;
+    spans = Hashtbl.create 8;
+    seq = 0;
+  }
+
+let register st =
+  let rec add () =
+    let old = Atomic.get registry in
+    if not (Atomic.compare_and_set registry old (st :: old)) then add ()
+  in
+  add ()
+
+let key =
+  Domain.DLS.new_key (fun () ->
+      let st = make_dstate () in
+      register st;
+      st)
+
+let local () = Domain.DLS.get key
+
+let lane () =
+  match Lf_dsim.Sim.running_pid () with
+  | Some p -> p
+  | None -> Lf_kernel.Lane.get ()
+
+let reset () =
+  List.iter
+    (fun st ->
+      C.reset st.tally;
+      Array.fill st.ops_tally 0 Obs_event.op_count 0;
+      Array.iter Hist.clear st.hist;
+      Profile.clear st.profile;
+      st.ring <- Ring.create ~capacity:!ring_capacity Obs_event.dummy;
+      Hashtbl.reset st.spans;
+      st.seq <- 0)
+    (Atomic.get registry)
+
+(* ------------------------------------------------------------------ *)
+(* Hot path *)
+
+let push st kind =
+  let s = st.seq in
+  st.seq <- s + 1;
+  Ring.push st.ring
+    { Obs_event.ts = now (); dom = st.dom; lane = lane (); seq = s; kind }
+
+(* Reads and writes are the one per-access cost that scales with traversal
+   length: on a pointer-chasing search they outnumber C&S by orders of
+   magnitude, and tallying each one (DLS lookup + store) costs more than
+   the traversal step it observes.  So they are tallied only from
+   [Histograms] up; the [Counters] level touches recorder state once per
+   C&S / cost-model event / finished operation, which is what keeps it
+   within a few percent of off (EXP-19 part A).  Exact read counts at
+   minimal cost remain [Counting_mem]'s job. *)
+let on_read () =
+  if !lvl < 2 then ()
+  else
+    let st = local () in
+    st.tally.C.reads <- st.tally.C.reads + 1
+
+let on_write () =
+  if !lvl < 2 then ()
+  else
+    let st = local () in
+    st.tally.C.writes <- st.tally.C.writes + 1
+
+let on_cas kind ok =
+  if !lvl = 0 then ()
+  else begin
+    let st = local () in
+    C.record_cas_attempt st.tally kind;
+    if ok then C.record_cas_success st.tally kind
+    else if !lvl >= 2 then begin
+      (* Attribute the lost C&S to the operation that suffered it. *)
+      let key =
+        match Hashtbl.find_opt st.spans (lane ()) with
+        | Some sp -> sp.sp_key
+        | None -> Profile.no_key
+      in
+      Profile.record st.profile ~key kind
+    end;
+    if !lvl >= 3 then push st (Obs_event.Cas { cas = kind; ok })
+  end
+
+(* Same per-access-volume reasoning for the cost-model notes: the pointer
+   and backlink traversal steps fire once per node visited, so they are
+   tallied from [Histograms] up, while the once-per-incident notes
+   (retries, helping entries, user marks) are cheap enough for
+   [Counters]. *)
+let on_event (e : Lf_kernel.Mem_event.t) =
+  if !lvl = 0 then ()
+  else begin
+    let per_step =
+      match e with
+      | Backlink_step | Next_update | Curr_update | Aux_step -> true
+      | Retry | Help | User _ -> false
+    in
+    if (not per_step) || !lvl >= 2 then begin
+      let st = local () in
+      C.record st.tally e;
+      if !lvl >= 3 then push st (Obs_event.Note e)
+    end
+  end
+
+let span_begin ~op ~key =
+  if !lvl < 2 then ()
+  else begin
+    let st = local () in
+    Hashtbl.replace st.spans (lane ())
+      { sp_op = op; sp_key = key; sp_start = now () };
+    if !lvl >= 3 then push st (Obs_event.Span_begin { op; key })
+  end
+
+let span_end ~op ~ok =
+  if !lvl = 0 then ()
+  else begin
+    let st = local () in
+    let i = Obs_event.op_index op in
+    st.ops_tally.(i) <- st.ops_tally.(i) + 1;
+    if !lvl >= 2 then begin
+      let ln = lane () in
+      (match Hashtbl.find_opt st.spans ln with
+      | Some sp ->
+          Hashtbl.remove st.spans ln;
+          Hist.add st.hist.(i) (now () - sp.sp_start)
+      | None -> ());
+      if !lvl >= 3 then push st (Obs_event.Span_end { op; ok })
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Collection (at quiescence) *)
+
+let states () = Atomic.get registry
+
+let tallies () =
+  let total = C.create () in
+  List.iter (fun st -> C.add_into ~into:total st.tally) (states ());
+  total
+
+let ops_counts () =
+  let out = Array.make Obs_event.op_count 0 in
+  List.iter
+    (fun st ->
+      Array.iteri (fun i v -> out.(i) <- out.(i) + v) st.ops_tally)
+    (states ());
+  List.map (fun op -> (op, out.(Obs_event.op_index op))) Obs_event.ops
+
+let latency op =
+  let i = Obs_event.op_index op in
+  let h = Hist.create () in
+  List.iter (fun st -> Hist.merge_into ~into:h st.hist.(i)) (states ());
+  h
+
+let latencies () = List.map (fun op -> (op, latency op)) Obs_event.ops
+
+let profile () =
+  let p = Profile.create () in
+  List.iter (fun st -> Profile.merge_into ~into:p st.profile) (states ());
+  p
+
+let profile_report ?top () = Profile.report ?top (profile ())
+
+let dropped () =
+  List.fold_left (fun acc st -> acc + Ring.dropped st.ring) 0 (states ())
+
+let events () =
+  let all =
+    List.concat_map (fun st -> Ring.to_list st.ring) (states ())
+  in
+  List.stable_sort
+    (fun (a : Obs_event.t) (b : Obs_event.t) ->
+      match Int.compare a.ts b.ts with
+      | 0 -> (
+          match Int.compare a.dom b.dom with
+          | 0 -> Int.compare a.seq b.seq
+          | c -> c)
+      | c -> c)
+    all
+
+let event_count () =
+  List.fold_left (fun acc st -> acc + Ring.length st.ring) 0 (states ())

@@ -1,0 +1,77 @@
+(** The observability recorder: module-level state observed through
+    {!Trace_mem}, recorded into per-domain structures (the [Counting_mem]
+    DLS-plus-registry pattern) so the hot path never synchronizes, and
+    merged at quiescence.
+
+    Levels nest — each adds to the previous:
+    - [Off]: every entry point returns after one word read; no allocation.
+    - [Counters]: C&S and cost-model tallies, finished-operation counts.
+      Recorder state is touched once per C&S / event / operation — never
+      per read — which is what keeps this level within a few percent of
+      off even on pointer-chasing searches (EXP-19 part A).
+    - [Histograms]: read/write tallies, operation-span latencies,
+      C&S-failure attribution to protocol phase and key.
+    - [Tracing]: the timestamped event stream, in bounded per-domain rings
+      (oldest overwritten, drops counted).
+
+    Configure ({!set_level}, {!set_clock}, {!set_ring_capacity}) before
+    spawning worker domains; collect ({!tallies}, {!latencies}, {!events},
+    {!profile_report}) after joining them. *)
+
+type level = Off | Counters | Histograms | Tracing
+
+val set_level : level -> unit
+val level : unit -> level
+val enabled : unit -> bool
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+type clock =
+  | Real  (** wall clock, nanoseconds *)
+  | Sim_steps  (** {!Lf_dsim.Sim.virtual_now}: deterministic virtual time *)
+  | Manual of (unit -> int)
+
+val set_clock : clock -> unit
+val now : unit -> int
+
+val set_ring_capacity : int -> unit
+(** Capacity of per-domain event rings created afterwards (default 65536);
+    {!reset} re-creates existing rings at the current capacity.
+    @raise Invalid_argument if not positive. *)
+
+val reset : unit -> unit
+(** Clear every registered domain's tallies, histograms, profile, and
+    ring.  Call at quiescence between measured runs. *)
+
+(** {1 Hot path} — called by {!Trace_mem} and the harnesses *)
+
+val on_read : unit -> unit
+val on_write : unit -> unit
+val on_cas : Lf_kernel.Mem_event.cas_kind -> bool -> unit
+val on_event : Lf_kernel.Mem_event.t -> unit
+
+val span_begin : op:Obs_event.op -> key:int -> unit
+(** Open an operation span for the current lane (overwrites any span the
+    lane left open).  No-op below [Histograms]. *)
+
+val span_end : op:Obs_event.op -> ok:bool -> unit
+(** Close the current lane's span: counts the operation, records its
+    latency into the per-op histogram. *)
+
+(** {1 Collection} — merge the per-domain states; quiescence only *)
+
+val tallies : unit -> Lf_kernel.Counters.t
+val ops_counts : unit -> (Obs_event.op * int) list
+val latency : Obs_event.op -> Hist.t
+val latencies : unit -> (Obs_event.op * Hist.t) list
+val profile : unit -> Profile.t
+val profile_report : ?top:int -> unit -> Profile.report
+
+val events : unit -> Obs_event.t list
+(** Every retained event, merged across domains and sorted by
+    [(ts, dom, seq)] — a deterministic total order under the simulator
+    clock. *)
+
+val event_count : unit -> int
+val dropped : unit -> int
+(** Events lost to ring overwrites since the last {!reset}. *)

@@ -51,15 +51,29 @@ let run_throughput ?keygen (module D : INT_DICT) ~domains ~ops_per_domain
   prefill ~key_range ~fill:50 ~seed:((seed * 7) + 1) (fun k -> D.insert t k k);
   let enter = barrier domains in
   let work did =
+    (* Lane id makes worker threads distinguishable in recorded traces
+       (and to fault plans); the span markers cost one word read each
+       while the recorder is off. *)
+    Lf_kernel.Lane.set did;
     let rng = Lf_kernel.Splitmix.create (seed + (1000 * did)) in
     let keygen = keygen_for did in
     enter ();
     for _ = 1 to ops_per_domain do
       match Opgen.draw mix keygen rng with
-      | Insert k -> ignore (D.insert t k k)
-      | Delete k -> ignore (D.delete t k)
-      | Find k -> ignore (D.find t k)
-    done
+      | Insert k ->
+          Lf_obs.Recorder.span_begin ~op:Lf_obs.Obs_event.Insert ~key:k;
+          let ok = D.insert t k k in
+          Lf_obs.Recorder.span_end ~op:Lf_obs.Obs_event.Insert ~ok
+      | Delete k ->
+          Lf_obs.Recorder.span_begin ~op:Lf_obs.Obs_event.Delete ~key:k;
+          let ok = D.delete t k in
+          Lf_obs.Recorder.span_end ~op:Lf_obs.Obs_event.Delete ~ok
+      | Find k ->
+          Lf_obs.Recorder.span_begin ~op:Lf_obs.Obs_event.Find ~key:k;
+          let ok = Option.is_some (D.find t k) in
+          Lf_obs.Recorder.span_end ~op:Lf_obs.Obs_event.Find ~ok
+    done;
+    Lf_kernel.Lane.clear ()
   in
   let t0 = now () in
   let ds = List.init (domains - 1) (fun i -> Domain.spawn (fun () -> work (i + 1))) in

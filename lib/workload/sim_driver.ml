@@ -32,9 +32,20 @@ let run_mixed ?(policy = Lf_dsim.Sim.Random 1) ?(initial_size = 0) ?keygen
       let op = Opgen.draw mix keygen rng in
       Lf_dsim.Sim.op_begin ~n:!size;
       (match op with
-      | Opgen.Insert k -> if ops.insert k then incr size
-      | Opgen.Delete k -> if ops.delete k then decr size
-      | Opgen.Find k -> ignore (ops.find k));
+      | Opgen.Insert k ->
+          Lf_obs.Recorder.span_begin ~op:Lf_obs.Obs_event.Insert ~key:k;
+          let ok = ops.insert k in
+          if ok then incr size;
+          Lf_obs.Recorder.span_end ~op:Lf_obs.Obs_event.Insert ~ok
+      | Opgen.Delete k ->
+          Lf_obs.Recorder.span_begin ~op:Lf_obs.Obs_event.Delete ~key:k;
+          let ok = ops.delete k in
+          if ok then decr size;
+          Lf_obs.Recorder.span_end ~op:Lf_obs.Obs_event.Delete ~ok
+      | Opgen.Find k ->
+          Lf_obs.Recorder.span_begin ~op:Lf_obs.Obs_event.Find ~key:k;
+          let ok = ops.find k in
+          Lf_obs.Recorder.span_end ~op:Lf_obs.Obs_event.Find ~ok);
       Lf_dsim.Sim.op_end ()
     done
   in

@@ -78,6 +78,31 @@ let test_percentile_interpolates () =
   let sorted = [| 0.0; 10.0 |] in
   Alcotest.(check (float 1e-9)) "p50 between" 5.0 (Stats.percentile sorted 0.5)
 
+let test_percentile_empty_raises () =
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Stats.percentile: empty array") (fun () ->
+      ignore (Stats.percentile [||] 0.5))
+
+let test_p999_tail () =
+  (* 1000 samples 0..999: p999 interpolates just above the 998th. *)
+  let s = Stats.summarize (Array.init 1000 float_of_int) in
+  Alcotest.(check (float 1e-6)) "p999" 998.001 s.p999;
+  Alcotest.(check (float 1e-9)) "p50" 499.5 s.p50
+
+let test_of_weighted () =
+  (* (value, count) pairs; percentiles step to the smallest value whose
+     cumulative count reaches p * total. *)
+  let s = Stats.of_weighted [| (1.0, 2); (5.0, 1); (10.0, 1); (7.0, 0) |] in
+  Alcotest.(check int) "count" 4 s.count;
+  Alcotest.(check (float 1e-9)) "mean" 4.25 s.mean;
+  Alcotest.(check (float 1e-9)) "min" 1.0 s.min;
+  Alcotest.(check (float 1e-9)) "max" 10.0 s.max;
+  Alcotest.(check (float 1e-9)) "p50 steps" 1.0 s.p50;
+  Alcotest.(check (float 1e-9)) "p999 tail" 10.0 s.p999;
+  (* Zero-count pairs contribute nothing; all-zero input = empty. *)
+  let empty = Stats.of_weighted [| (3.0, 0) |] in
+  Alcotest.(check int) "empty count" 0 empty.count
+
 let test_linear_fit () =
   let pts = Array.init 20 (fun i -> (float_of_int i, 3.0 +. (2.0 *. float_of_int i))) in
   let a, b, r2 = Stats.linear_fit pts in
@@ -271,6 +296,10 @@ let () =
         [
           Alcotest.test_case "summarize" `Quick test_summarize;
           Alcotest.test_case "percentile" `Quick test_percentile_interpolates;
+          Alcotest.test_case "percentile empty raises" `Quick
+            test_percentile_empty_raises;
+          Alcotest.test_case "p999 tail" `Quick test_p999_tail;
+          Alcotest.test_case "of_weighted" `Quick test_of_weighted;
           Alcotest.test_case "linear fit" `Quick test_linear_fit;
           Alcotest.test_case "loglog slope" `Quick test_loglog_slope;
           Alcotest.test_case "geometric fit" `Quick test_geometric_fit;

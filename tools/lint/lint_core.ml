@@ -1,6 +1,6 @@
 (* Source-level concurrency lint over the compiler-libs parsetree.
 
-   Four rules, each motivated by a class of bug that type-checks fine but
+   Six rules, each motivated by a class of bug that type-checks fine but
    breaks the lock-free structures at runtime:
 
    - [no-raw-atomic]: every shared cell must go through the [Lf_kernel.Mem.S]
@@ -32,6 +32,15 @@
      else receives faults transparently through a [Fault_mem]-wrapped
      memory.
 
+   - [no-timing-in-structures]: same discipline for observability.  A
+     structure that reads a clock ([Unix.gettimeofday]/[time]/[times],
+     [Sys.time], [Mtime], [Ptime]) or reaches into the recorder ([Lf_obs])
+     has baked measurement into the algorithm: it perturbs the simulator's
+     determinism and ties the structure to one observer.  Structure code is
+     observed from outside, through [Lf_obs.Trace_mem] stacked at the
+     memory seam and the span hooks in the harnesses.  Scoped to the
+     structure libraries; kernel, harnesses, bench and bin measure freely.
+
    The rules are path-scoped and a small waiver table exempts known-benign
    files, each with a reason that is printed if the waiver is ever reported. *)
 
@@ -42,6 +51,7 @@ let rule_raw_dls = "no-raw-dls"
 let rule_obj_magic = "no-obj-magic"
 let rule_poly_compare = "no-poly-compare"
 let rule_fault_hooks = "no-fault-hooks"
+let rule_timing = "no-timing-in-structures"
 let rule_parse_error = "parse-error"
 
 (* Directories where shared cells are allowed to be raw atomics: the kernel
@@ -59,6 +69,10 @@ let fault_allowed_prefixes = [ "lib/fault/"; "lib/workload/" ]
 (* Libraries that define node types with succ/backlink pointers. *)
 let poly_scope_prefixes =
   [ "lib/core/"; "lib/skiplist/"; "lib/baselines/"; "lib/hashtable/"; "lib/pqueue/" ]
+
+(* Structure code that must stay clock- and recorder-free: the same
+   libraries.  Harness trees, the kernel and lib/obs itself measure. *)
+let timing_scope_prefixes = poly_scope_prefixes
 
 (* file, rule, reason.  Waivers are deliberate, reviewed exceptions. *)
 let waivers =
@@ -81,6 +95,17 @@ let waivers =
     ( "lib/hashtable/lf_hashtable.ml",
       rule_poly_compare,
       "Hashtbl.hash on string keys, which are acyclic and node-free" );
+    ( "lib/obs/recorder.ml",
+      rule_raw_atomic,
+      "the recorder's domain registry: observer-side harness state on the \
+       consumer side of the seam, never part of a structure's protocol" );
+    ( "lib/obs/recorder.ml",
+      rule_raw_dls,
+      "per-domain recording state: the recorder is the observer, not a \
+       structure; DLS is what keeps its hot path free of synchronization" );
+    ( "bench/exp19.ml",
+      rule_raw_atomic,
+      "start barrier for benchmark domains; harness synchronization" );
   ]
 
 let waived path rule =
@@ -103,6 +128,8 @@ let rule_active ~all path rule =
        has_prefix path poly_scope_prefixes
      else if String.equal rule rule_fault_hooks then
        has_prefix path [ "lib/" ] && not (has_prefix path fault_allowed_prefixes)
+     else if String.equal rule rule_timing then
+       has_prefix path timing_scope_prefixes
      else true
 
 open Parsetree
@@ -149,6 +176,23 @@ let lid_is_unix_sleep = function
   | Longident.Ldot (Longident.Lident "Unix", ("sleep" | "sleepf")) -> true
   | _ -> false
 
+(* Clock reads and recorder references.  [Unix.sleep]/[sleepf] stay with
+   [no-fault-hooks]: they are delays, not measurements. *)
+let lid_is_timing lid =
+  match lid with
+  | Longident.Ldot (Longident.Lident "Unix", ("gettimeofday" | "time" | "times"))
+  | Longident.Ldot (Longident.Lident "Sys", "time") ->
+      true
+  | _ -> (
+      match root_of_lid lid with
+      | "Mtime" | "Ptime" | "Lf_obs" -> true
+      | _ -> false)
+
+let timing_msg =
+  "clock read or recorder reference inside structure code; structures are \
+   observed from outside — stack Lf_obs.Trace_mem at the memory seam and \
+   measure from the harnesses, bench or test code"
+
 let poly_msg what =
   what
   ^ " can chase succ/backlink pointers into cycles on node types; use the \
@@ -179,6 +223,7 @@ let check_file ~all path =
     if lid_is_dls lid then report loc rule_raw_dls dls_msg;
     if String.equal (root_of_lid lid) "Lf_fault" || lid_is_unix_sleep lid then
       report loc rule_fault_hooks fault_msg;
+    if lid_is_timing lid then report loc rule_timing timing_msg;
     (match lid with
     | Longident.Ldot (Lident "Obj", "magic") ->
         report loc rule_obj_magic
@@ -237,6 +282,8 @@ let check_file ~all path =
           | Pmod_ident { txt; loc }
             when String.equal (root_of_lid txt) "Lf_fault" ->
               report loc rule_fault_hooks fault_msg
+          | Pmod_ident { txt; loc } when lid_is_timing txt ->
+              report loc rule_timing timing_msg
           | _ -> ());
           default.module_expr it me);
       typ =
@@ -250,6 +297,8 @@ let check_file ~all path =
           | Ptyp_constr ({ txt; loc }, _)
             when String.equal (root_of_lid txt) "Lf_fault" ->
               report loc rule_fault_hooks fault_msg
+          | Ptyp_constr ({ txt; loc }, _) when lid_is_timing txt ->
+              report loc rule_timing timing_msg
           | _ -> ());
           default.typ it ty);
     }
