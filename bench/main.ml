@@ -35,6 +35,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("exp17", "hint-guided searches + batches", fun () -> ignore (Exp17.run ()));
     ("exp18", "graceful degradation under faults", fun () -> ignore (Exp18.run ()));
     ("exp19", "observability overhead + contention", fun () -> ignore (Exp19.run ()));
+    ("exp20", "overload robustness: svc pipeline", fun () -> ignore (Exp20.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 

@@ -9,6 +9,9 @@
      trace       record an execution, emit Chrome trace-event JSON
      metrics     record an execution, emit a Prometheus text snapshot
 
+     serve       line-protocol TCP front behind the lib/svc pipeline
+     call        tiny client for a running serve (smoke tests, CI)
+
    Examples:
      dune exec bin/lfdict.exe -- list
      dune exec bin/lfdict.exe -- trace --sim --seed 7 -o out.trace.json --check
@@ -548,6 +551,229 @@ let metrics_cmd =
       const run $ impl_arg $ sim_arg $ domains_arg $ trace_ops_arg $ range_arg
       $ mix_arg $ seed_arg $ out_arg $ validate_arg)
 
+(* ------------------------------------------------------------------ *)
+(* serve / call: a minimal line-protocol TCP front over the service
+   layer (lib/svc).  One request per line (PUT/DEL/GET/HEALTH/METRICS/
+   QUIT/SHUTDOWN — see Lf_svc.Wire); every operation runs through the
+   Svc pipeline, so deadlines, retry budgets, shedding and the breaker
+   are all live behind the socket.  Sequential accept loop: this is the
+   demo front for EXP-20 and the CI smoke, not a production server. *)
+
+(* Wrap an implementation as Svc closures, with recorder spans around
+   each operation so METRICS (the PR 4 Prometheus snapshot) has live
+   operation counters and latency quantiles to report. *)
+let svc_ops (module D : Lf_workload.Runner.INT_DICT) : Lf_svc.Svc.ops =
+  let t = D.create () in
+  let span op key f =
+    Lf_obs.Recorder.span_begin ~op ~key;
+    let ok = f () in
+    Lf_obs.Recorder.span_end ~op ~ok;
+    ok
+  in
+  {
+    insert =
+      (fun k v -> span Lf_obs.Obs_event.Insert k (fun () -> D.insert t k v));
+    delete = (fun k -> span Lf_obs.Obs_event.Delete k (fun () -> D.delete t k));
+    find =
+      (fun k ->
+        span Lf_obs.Obs_event.Find k (fun () -> Option.is_some (D.find t k)));
+  }
+
+let port_arg =
+  Arg.(
+    value & opt int 7071
+    & info [ "p"; "port" ] ~docv:"PORT" ~doc:"TCP port on 127.0.0.1.")
+
+let deadline_ms_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:"Default per-request deadline in milliseconds (0 = none).")
+
+let retry_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry" ] ~docv:"N"
+        ~doc:"Retry failed operations up to $(docv) attempts total (0 = off).")
+
+let retry_budget_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "retry-budget" ] ~docv:"N"
+        ~doc:
+          "Token-bucket retry budget: at most $(docv) retries outstanding, \
+           one token regained per 100ms (0 = unlimited).")
+
+let shed_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "shed" ] ~docv:"N"
+        ~doc:
+          "Load shedding: reject when more than $(docv) requests are \
+           in flight, or when the deadline is infeasible against the \
+           service-time estimate (0 = off).")
+
+let breaker_flag =
+  Arg.(
+    value & flag
+    & info [ "breaker" ]
+        ~doc:
+          "Circuit breaker: trip on a windowed failure/latency spike, \
+           serve reads only while open, probe and recover.")
+
+let serve_cmd =
+  let run impl port deadline_ms retry budget shed breaker =
+    Lf_obs.Recorder.set_level Lf_obs.Recorder.Off;
+    Lf_obs.Recorder.reset ();
+    Lf_obs.Recorder.set_clock Lf_obs.Recorder.Real;
+    Lf_obs.Recorder.set_level Lf_obs.Recorder.Histograms;
+    let (module D : Lf_workload.Runner.INT_DICT) =
+      resolve impl false ~hints:true
+    in
+    let ops = svc_ops (module D) in
+    let clock = Lf_svc.Clock.real () in
+    let ms = Lf_svc.Clock.ms clock in
+    let cfg =
+      Lf_svc.Svc.config ~clock
+        ~deadline:(if deadline_ms <= 0 then max_int else ms deadline_ms)
+        ~retry:
+          (if retry <= 0 then None
+           else
+             Some (Lf_svc.Retry.policy ~max_attempts:retry ~base_delay:(ms 1) ()))
+        ~budget:
+          (if budget <= 0 then Lf_svc.Retry.Budget.unlimited
+           else
+             Lf_svc.Retry.Budget.config ~capacity:budget
+               ~refill_every:(ms 100) ())
+        ~shed:
+          (if shed <= 0 then None
+           else Some (Lf_svc.Shed.config ~max_queue:shed ~est_init:(ms 1) ()))
+        ~breaker:
+          (if not breaker then None
+           else
+             Some
+               (Lf_svc.Breaker.config ~window:(ms 1000)
+                  ~latency_threshold:(ms 100) ~open_for:(ms 1000) ()))
+        ~backoff:(fun d -> Unix.sleepf (float_of_int d /. 1e9))
+        ()
+    in
+    let svc = Lf_svc.Svc.create cfg ops in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    Unix.setsockopt sock Unix.SO_REUSEADDR true;
+    Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+    Unix.listen sock 8;
+    Printf.printf "lfdict serve: %s on 127.0.0.1:%d\n%!" D.name port;
+    let shutdown = ref false in
+    while not !shutdown do
+      let fd, _ = Unix.accept sock in
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let quit = ref false in
+      (try
+         while not (!quit || !shutdown) do
+           match input_line ic with
+           | exception End_of_file -> quit := true
+           | line ->
+               (match Lf_svc.Wire.parse line with
+               | Error e ->
+                   output_string oc (Lf_svc.Wire.format_error e);
+                   output_char oc '\n'
+               | Ok (Lf_svc.Wire.Op req) ->
+                   output_string oc
+                     (Lf_svc.Wire.format_outcome (Lf_svc.Svc.call svc req));
+                   output_char oc '\n'
+               | Ok Lf_svc.Wire.Health ->
+                   output_string oc
+                     (Lf_svc.Wire.health_line (Lf_svc.Svc.stats svc));
+                   output_char oc '\n'
+               | Ok Lf_svc.Wire.Metrics ->
+                   output_string oc (Lf_obs.Prom.snapshot ());
+                   output_string oc "END\n"
+               | Ok Lf_svc.Wire.Quit -> quit := true
+               | Ok Lf_svc.Wire.Shutdown ->
+                   output_string oc "OK true\n";
+                   shutdown := true);
+               flush oc
+         done
+       with Sys_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+    done;
+    Unix.close sock
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve an implementation over a line-protocol TCP socket, behind \
+          the lib/svc robustness pipeline (deadlines, retry budgets, load \
+          shedding, circuit breaking).  Protocol: PUT k v / DEL k / GET k / \
+          HEALTH / METRICS / QUIT / SHUTDOWN, one per line.")
+    Term.(
+      const run $ impl_arg $ port_arg $ deadline_ms_arg $ retry_arg
+      $ retry_budget_arg $ shed_arg $ breaker_flag)
+
+let call_cmd =
+  let lines_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"LINE" ~doc:"Protocol lines, e.g. 'PUT 1 2'.")
+  in
+  let connect_retries_arg =
+    Arg.(
+      value & opt int 20
+      & info [ "connect-retries" ] ~docv:"N"
+          ~doc:"Connection attempts, 250ms apart (CI starts the server \
+                in the background).")
+  in
+  let run port retries lines =
+    let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+    let rec connect attempt =
+      let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+      try
+        Unix.connect sock addr;
+        sock
+      with Unix.Unix_error _ when attempt < retries ->
+        (try Unix.close sock with Unix.Unix_error _ -> ());
+        Unix.sleepf 0.25;
+        connect (attempt + 1)
+    in
+    let sock = connect 0 in
+    let ic = Unix.in_channel_of_descr sock in
+    let oc = Unix.out_channel_of_descr sock in
+    let read_one () =
+      match input_line ic with
+      | l -> print_endline l
+      | exception End_of_file ->
+          prerr_endline "connection closed";
+          exit 1
+    in
+    List.iter
+      (fun line ->
+        output_string oc line;
+        output_char oc '\n';
+        flush oc;
+        match Lf_svc.Wire.parse line with
+        | Ok Lf_svc.Wire.Metrics ->
+            let rec drain () =
+              match input_line ic with
+              | "END" -> print_endline "END"
+              | l ->
+                  print_endline l;
+                  drain ()
+              | exception End_of_file -> ()
+            in
+            drain ()
+        | Ok Lf_svc.Wire.Quit -> ()
+        | _ -> read_one ())
+      lines;
+    try Unix.close sock with Unix.Unix_error _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "call"
+       ~doc:
+         "Send protocol lines to a running $(b,lfdict serve) and print the \
+          responses (a tiny client for smoke tests and CI).")
+    Term.(const run $ port_arg $ connect_retries_arg $ lines_arg)
+
 let () =
   let info =
     Cmd.info "lfdict" ~version:"1.0"
@@ -556,4 +782,13 @@ let () =
   exit
     (Cmd.eval
        (Cmd.group info
-          [ throughput_cmd; check_cmd; chaos_cmd; trace_cmd; metrics_cmd; list_cmd ]))
+          [
+            throughput_cmd;
+            check_cmd;
+            chaos_cmd;
+            trace_cmd;
+            metrics_cmd;
+            serve_cmd;
+            call_cmd;
+            list_cmd;
+          ]))

@@ -8,9 +8,18 @@ let cas r ~kind:_ ~expect v = Atomic.compare_and_set r expect v
 let set = Atomic.set
 let event (_ : Mem_event.t) = ()
 
+let pause_rng = Splitmix.domain_local 0x9a75e
+
 let pause n =
-  (* Bounded exponential backoff in units of [cpu_relax]. *)
-  let spins = 1 lsl min n 8 in
+  (* Bounded exponential backoff in units of [cpu_relax]: 2^min(n,8)
+     base spins plus a uniform jitter of up to the same amount again
+     (full spread [base, 2*base), capped at 512 spins total), drawn from
+     the domain's own SplitMix stream.  Without the jitter, domains that
+     fail a C&S together back off together and re-collide together —
+     the convoy the backoff exists to break up.  [Sim_mem.pause] stays
+     deterministic: jitter belongs to wall-clock runs only. *)
+  let base = 1 lsl min n 8 in
+  let spins = base + Splitmix.int (pause_rng ()) base in
   for _ = 1 to spins do
     Domain.cpu_relax ()
   done

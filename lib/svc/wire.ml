@@ -1,0 +1,54 @@
+type command =
+  | Op of Svc.req
+  | Health
+  | Metrics
+  | Quit
+  | Shutdown
+
+let parse line =
+  let line =
+    let n = String.length line in
+    if n > 0 && line.[n - 1] = '\r' then String.sub line 0 (n - 1) else line
+  in
+  let words =
+    String.split_on_char ' ' line |> List.filter (fun w -> w <> "")
+  in
+  let int_arg what s =
+    match int_of_string_opt s with
+    | Some k -> Ok k
+    | None -> Error (Printf.sprintf "bad %s %S" what s)
+  in
+  match words with
+  | [] -> Error "empty line"
+  | verb :: args -> (
+      match (String.uppercase_ascii verb, args) with
+      | "PUT", [ k; v ] ->
+          Result.bind (int_arg "key" k) (fun k ->
+              Result.map (fun v -> Op (Svc.Insert (k, v))) (int_arg "value" v))
+      | "DEL", [ k ] -> Result.map (fun k -> Op (Svc.Delete k)) (int_arg "key" k)
+      | "GET", [ k ] -> Result.map (fun k -> Op (Svc.Find k)) (int_arg "key" k)
+      | "HEALTH", [] -> Ok Health
+      | "METRICS", [] -> Ok Metrics
+      | "QUIT", [] -> Ok Quit
+      | "SHUTDOWN", [] -> Ok Shutdown
+      | v, _ -> Error (Printf.sprintf "bad command %S" v))
+
+let format_outcome = function
+  | Svc.Served b -> Printf.sprintf "OK %b" b
+  | Svc.Rejected r -> "REJECTED " ^ Svc.reason_to_string r
+  | Svc.Failed m -> "FAILED " ^ String.map (function '\n' -> ' ' | c -> c) m
+
+let format_error msg = "ERR " ^ msg
+
+let health_line (s : Svc.stats) =
+  let status =
+    match s.breaker with
+    | Some "closed" | None -> "ok"
+    | Some _ -> "degraded"
+  in
+  let rejected = List.fold_left (fun a (_, n) -> a + n) 0 s.rejected in
+  Printf.sprintf
+    "%s mode=%s breaker=%s calls=%d served=%d failed=%d rejected=%d retries=%d"
+    status s.mode
+    (Option.value s.breaker ~default:"none")
+    s.calls s.served s.failed rejected s.retries

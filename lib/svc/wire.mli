@@ -1,0 +1,38 @@
+(** The [lfdict serve] line protocol, as pure parse/format functions so
+    the TCP front in [bin/lfdict.ml] stays a dumb read/write loop and
+    the protocol itself is unit-testable without sockets.
+
+    One request per line, ASCII, space-separated:
+
+    {v
+    PUT <key> <value>     insert
+    DEL <key>             delete
+    GET <key>             find
+    HEALTH                one-line liveness/readiness summary
+    METRICS               Prometheus-format snapshot, terminated by END
+    QUIT                  close this connection
+    SHUTDOWN              stop the server
+    v}
+
+    Operation responses are one line: [OK true], [OK false],
+    [REJECTED <reason>], or [FAILED <message>].  Parse errors get
+    [ERR <message>]. *)
+
+type command =
+  | Op of Svc.req
+  | Health
+  | Metrics
+  | Quit
+  | Shutdown
+
+val parse : string -> (command, string) result
+(** Case-insensitive on the verb; trailing [\r] (telnet) is ignored. *)
+
+val format_outcome : Svc.outcome -> string
+
+val format_error : string -> string
+(** The [ERR ...] line for unparseable input. *)
+
+val health_line : Svc.stats -> string
+(** [ok] while the breaker (if any) is closed, [degraded] otherwise,
+    followed by [key=value] counters — stable order, one line. *)

@@ -345,6 +345,145 @@ let run_chaos ?(victims = []) ?(budget_s = 0.05) ?(window_s = 0.2)
     c_counters = counters;
   }
 
+(* ------------------------------------------------------------------ *)
+(* Open-loop overload runs: arrivals paced by a rate, not by           *)
+(* completions.                                                        *)
+(* ------------------------------------------------------------------ *)
+
+type verdict = [ `Served of bool | `Rejected | `Failed ]
+
+type open_loop_report = {
+  o_offered : int;
+  o_handled : int;
+  o_served : int;
+  o_served_ok : int;
+  o_rejected : int;
+  o_failed : int;
+  o_leftover : int;
+  o_elapsed_s : float;
+  o_goodput : float;
+  o_latency : Lf_obs.Hist.t;
+}
+
+let pp_open_loop_report ppf r =
+  Format.fprintf ppf
+    "@[<v>open-loop: offered %d in %.3fs, handled %d@,\
+    \  served %d (%d ok, %.0f/s goodput), rejected %d, failed %d, leftover %d@,\
+    \  latency p50 %.2fms p99 %.2fms max %.2fms@]"
+    r.o_offered r.o_elapsed_s r.o_handled r.o_served r.o_served_ok r.o_goodput
+    r.o_rejected r.o_failed r.o_leftover
+    (if Lf_obs.Hist.count r.o_latency = 0 then 0.
+     else Lf_obs.Hist.percentile r.o_latency 0.5 /. 1e6)
+    (if Lf_obs.Hist.count r.o_latency = 0 then 0.
+     else Lf_obs.Hist.percentile r.o_latency 0.99 /. 1e6)
+    (float_of_int (Lf_obs.Hist.max_value r.o_latency) /. 1e6)
+
+let run_open_loop ?(workers = 2) ~rate ~window_s ~key_range
+    ~(mix : Opgen.mix) ~seed ~serve () : open_loop_report =
+  if rate <= 0 then invalid_arg "run_open_loop: rate must be > 0";
+  if workers < 1 then invalid_arg "run_open_loop: workers must be >= 1";
+  let q : (int * Opgen.op) Queue.t = Queue.create () in
+  let mu = Mutex.create () and cv = Condition.create () in
+  let stop = Atomic.make false in
+  let handled = Array.make workers 0
+  and served = Array.make workers 0
+  and served_ok = Array.make workers 0
+  and rejected = Array.make workers 0
+  and failed = Array.make workers 0 in
+  let hists = Array.init workers (fun _ -> Lf_obs.Hist.create ()) in
+  let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9) in
+  let pop () =
+    Mutex.lock mu;
+    (* Stop takes precedence over draining: at window close the workers
+       down tools and whatever is still queued is counted as leftover
+       (otherwise an overloaded run would take unboundedly long). *)
+    let rec await () =
+      if Atomic.get stop then None
+      else if not (Queue.is_empty q) then begin
+        let item = Queue.pop q in
+        Some (item, Queue.length q)
+      end
+      else begin
+        Condition.wait cv mu;
+        await ()
+      end
+    in
+    let r = await () in
+    Mutex.unlock mu;
+    r
+  in
+  let work did =
+    Lf_kernel.Lane.set did;
+    let continue = ref true in
+    while !continue do
+      match pop () with
+      | None -> continue := false
+      | Some ((arrival_ns, op), depth) -> (
+          handled.(did) <- handled.(did) + 1;
+          match serve ~arrival_ns ~queue_depth:depth op with
+          | `Served ok ->
+              served.(did) <- served.(did) + 1;
+              if ok then served_ok.(did) <- served_ok.(did) + 1;
+              Lf_obs.Hist.add hists.(did) (now_ns () - arrival_ns)
+          | `Rejected -> rejected.(did) <- rejected.(did) + 1
+          | `Failed -> failed.(did) <- failed.(did) + 1)
+    done;
+    Lf_kernel.Lane.clear ()
+  in
+  Lf_kernel.Lane.set (-1);
+  let ds = List.init workers (fun i -> Domain.spawn (fun () -> work i)) in
+  let rng = Lf_kernel.Splitmix.create seed in
+  let keygen = Keygen.uniform key_range in
+  let t0 = now () in
+  let t_end = t0 +. window_s in
+  let interval = 1. /. float_of_int rate in
+  let offered = ref 0 in
+  (* [next] is the schedule; when the generator wakes up late it enqueues
+     the whole backlog at once, so the arrival count depends only on the
+     rate — never on how fast completions drain. *)
+  let next = ref t0 in
+  let tn = ref (now ()) in
+  while !tn < t_end do
+    if !tn >= !next then begin
+      Mutex.lock mu;
+      while !next <= !tn && !next < t_end do
+        let op = Opgen.draw mix keygen rng in
+        Queue.push (now_ns (), op) q;
+        incr offered;
+        next := !next +. interval
+      done;
+      Mutex.unlock mu;
+      Condition.broadcast cv
+    end
+    else Unix.sleepf (min (!next -. !tn) 0.001);
+    tn := now ()
+  done;
+  let close_t = now () in
+  Atomic.set stop true;
+  Mutex.lock mu;
+  Condition.broadcast cv;
+  Mutex.unlock mu;
+  List.iter Domain.join ds;
+  Lf_kernel.Lane.clear ();
+  let leftover = Queue.length q in
+  let latency = Lf_obs.Hist.create () in
+  Array.iter (fun h -> Lf_obs.Hist.merge_into ~into:latency h) hists;
+  let sum a = Array.fold_left ( + ) 0 a in
+  let elapsed = close_t -. t0 in
+  {
+    o_offered = !offered;
+    o_handled = sum handled;
+    o_served = sum served;
+    o_served_ok = sum served_ok;
+    o_rejected = sum rejected;
+    o_failed = sum failed;
+    o_leftover = leftover;
+    o_elapsed_s = elapsed;
+    o_goodput =
+      (if elapsed > 0. then float_of_int (sum served) /. elapsed else 0.);
+    o_latency = latency;
+  }
+
 exception Lane_crashed
 
 (* Recorded chaos burst: completed operations go into the history;

@@ -134,6 +134,59 @@ val run_chaos :
     legitimate here — use [Lf_check.Check_mem.check_crash_residue] for
     what a crash may leave behind. *)
 
+(** {1 Open-loop overload runs (EXP-20)}
+
+    Closed-loop drivers (everything above) slow their offered load down
+    to whatever the system can absorb, which hides overload behaviour.
+    Here arrivals are paced by a fixed rate regardless of completions:
+    requests queue, queues grow, and the served fraction plus the
+    arrival-to-completion latency tail show how the service copes.
+
+    The system under test arrives as a [serve] closure so this module
+    stays agnostic of [lib/svc] (EXP-20 wraps an {!Lf_svc.Svc.t};
+    baselines wrap the bare dictionary). *)
+
+type verdict = [ `Served of bool | `Rejected | `Failed ]
+
+type open_loop_report = {
+  o_offered : int;  (** arrivals generated during the window *)
+  o_handled : int;  (** arrivals a worker handed to [serve] *)
+  o_served : int;  (** [`Served _] verdicts *)
+  o_served_ok : int;  (** of which [`Served true] *)
+  o_rejected : int;
+  o_failed : int;
+  o_leftover : int;
+      (** still queued when the window closed — counted, never silent *)
+  o_elapsed_s : float;
+  o_goodput : float;  (** served per second of window *)
+  o_latency : Lf_obs.Hist.t;
+      (** arrival-to-completion latency of served requests, ns *)
+}
+
+val pp_open_loop_report : Format.formatter -> open_loop_report -> unit
+
+val run_open_loop :
+  ?workers:int ->
+  rate:int ->
+  window_s:float ->
+  key_range:int ->
+  mix:Opgen.mix ->
+  seed:int ->
+  serve:(arrival_ns:int -> queue_depth:int -> Opgen.op -> verdict) ->
+  unit ->
+  open_loop_report
+(** Offer [rate] operations per second for [window_s] seconds into an
+    unbounded queue drained by [workers] (default 2) domains; admission
+    control belongs to [serve] (which sees the queue depth it was popped
+    ahead of, and the arrival timestamp in [Clock.real] ticks, i.e.
+    nanoseconds).  The generator never blocks on completions: when it
+    falls behind it enqueues the whole backlog at once, preserving the
+    open-loop arrival count.  Workers stop at window close; the
+    remaining queue is reported as [o_leftover].  Latency is measured
+    from {e arrival}, so queueing delay is included — the open-loop
+    convention.  Worker lanes are numbered [0 .. workers-1]; the
+    generator runs on lane [-1]. *)
+
 val run_chaos_recorded :
   insert:(int -> bool) ->
   delete:(int -> bool) ->

@@ -1,0 +1,524 @@
+(* The service layer (lib/svc, DESIGN.md §10): breaker state-machine
+   transitions, retry-budget conservation (tokens spent = retries
+   issued), the shedding invariant (no admitted operation executes past
+   its deadline), degraded modes through the pipeline, the coalesced
+   batch path, chaos integration (rejections reported, never dropped),
+   and decision-log determinism under the manual clock. *)
+
+module Svc = Lf_svc.Svc
+module Clock = Lf_svc.Clock
+module Deadline = Lf_svc.Deadline
+module Retry = Lf_svc.Retry
+module Breaker = Lf_svc.Breaker
+module Shed = Lf_svc.Shed
+module Degrade = Lf_svc.Degrade
+module Runner = Lf_workload.Runner
+module Opgen = Lf_workload.Opgen
+module Fault = Lf_fault.Fault
+module FP = Lf_kernel.Fault_point
+
+let outcome =
+  Alcotest.testable
+    (fun ppf o -> Format.pp_print_string ppf (Svc.outcome_to_string o))
+    ( = )
+
+(* --- Breaker transitions (pure state machine) ------------------------ *)
+
+(* The full cycle under hand-driven ticks: [min_calls] failures trip it
+   open; admissions are rejected until [open_for] has elapsed, then the
+   next admission is a probe (half-open).  From there, [probes]
+   consecutive successes close it — or, on the [fail_probe] branch, one
+   probe failure re-opens it. *)
+let test_breaker_cycle =
+  Support.qcheck ~count:200 "breaker: open -> half-open -> closed / re-open"
+    QCheck2.Gen.(triple (1 -- 4) (1 -- 8) bool)
+    (fun (probes, min_calls, fail_probe) ->
+      let cfg =
+        Breaker.config ~window:1_000_000 ~min_calls ~failure_pct:50
+          ~open_for:10 ~probes ()
+      in
+      let b = ref (Breaker.create cfg ~now:0) in
+      let ok = ref (Breaker.state !b = Breaker.Closed) in
+      let expect what cond = if not cond then (ok := false; ignore what) in
+      for _ = 1 to min_calls do
+        b := Breaker.observe !b ~now:1 ~ok:false ~latency:1
+      done;
+      expect "tripped" (Breaker.state !b = Breaker.Open);
+      (* Still open: rejected at the door. *)
+      let b1, v1 = Breaker.admit !b ~now:2 in
+      b := b1;
+      expect "rejects while open" (v1 = `Reject);
+      (* Cool-down elapsed: the next admission is a probe. *)
+      let b2, v2 = Breaker.admit !b ~now:100 in
+      b := b2;
+      expect "probes after open_for" (v2 = `Probe);
+      expect "half-open" (Breaker.state !b = Breaker.Half_open);
+      if fail_probe then begin
+        b := Breaker.observe !b ~now:101 ~ok:false ~latency:1;
+        expect "probe failure re-opens" (Breaker.state !b = Breaker.Open);
+        let _, v = Breaker.admit !b ~now:102 in
+        expect "re-open rejects" (v = `Reject)
+      end
+      else begin
+        for i = 1 to probes do
+          let b', v = Breaker.admit !b ~now:(100 + i) in
+          b := b';
+          expect "probe admission" (v = `Probe);
+          b := Breaker.observe !b ~now:(100 + i) ~ok:true ~latency:1
+        done;
+        expect "closed after probes" (Breaker.state !b = Breaker.Closed);
+        let _, v = Breaker.admit !b ~now:200 in
+        expect "closed admits" (v = `Admit)
+      end;
+      !ok)
+
+let test_breaker_latency_trips () =
+  (* Slow successes count as failures: the stall-storm detector. *)
+  let cfg =
+    Breaker.config ~window:1000 ~min_calls:3 ~failure_pct:50
+      ~latency_threshold:10 ~open_for:50 ~probes:1 ()
+  in
+  let b = ref (Breaker.create cfg ~now:0) in
+  for i = 1 to 3 do
+    b := Breaker.observe !b ~now:i ~ok:true ~latency:50
+  done;
+  Alcotest.(check string)
+    "slow successes open the breaker" "open"
+    (Breaker.kind_to_string (Breaker.state !b))
+
+(* --- Retry budget: conservation -------------------------------------- *)
+
+let test_budget_conservation_pure =
+  Support.qcheck ~count:300 "budget: grants = min(takes, capacity) = spent"
+    QCheck2.Gen.(pair (0 -- 20) (0 -- 60))
+    (fun (capacity, takes) ->
+      let b =
+        ref
+          (Retry.Budget.create
+             (Retry.Budget.config ~capacity ~refill_every:0 ())
+             ~now:0)
+      in
+      let granted = ref 0 in
+      for _ = 1 to takes do
+        let b', ok = Retry.Budget.take !b ~now:0 in
+        b := b';
+        if ok then incr granted
+      done;
+      !granted = min takes capacity && Retry.Budget.spent !b = !granted)
+
+let test_budget_refill () =
+  let cfg = Retry.Budget.config ~capacity:2 ~refill_every:10 () in
+  let b = ref (Retry.Budget.create cfg ~now:0) in
+  let take now =
+    let b', ok = Retry.Budget.take !b ~now in
+    b := b';
+    ok
+  in
+  Alcotest.(check bool) "first" true (take 0);
+  Alcotest.(check bool) "second" true (take 0);
+  Alcotest.(check bool) "drained" false (take 0);
+  Alcotest.(check bool) "refilled after a period" true (take 10);
+  Alcotest.(check int) "spent counts only grants" 3 (Retry.Budget.spent !b);
+  Alcotest.(check bool) "capped at capacity" true
+    (Retry.Budget.tokens !b ~now:1_000_000 <= 2)
+
+(* Conservation through the pipeline: with always-failing ops, every
+   admitted call burns 1 + (granted retries) executions, so the ops
+   counter, the stats and the budget must all agree. *)
+let test_budget_conservation_svc =
+  Support.qcheck ~count:100 "svc: executions = calls + retries; retries <= capacity"
+    QCheck2.Gen.(pair (0 -- 40) (1 -- 5))
+    (fun (capacity, calls) ->
+      let clock, _ = Clock.manual () in
+      let execs = ref 0 in
+      let boom _ = incr execs; failwith "down" in
+      let ops =
+        { Svc.insert = (fun _ _ -> boom ()); delete = boom; find = boom }
+      in
+      let cfg =
+        Svc.config ~clock
+          ~retry:(Some (Retry.policy ~max_attempts:10 ~base_delay:0 ()))
+          ~budget:(Retry.Budget.config ~capacity ~refill_every:0 ())
+          ()
+      in
+      let svc = Svc.create cfg ops in
+      for i = 1 to calls do
+        ignore (Svc.call svc (Svc.Insert (i, i)))
+      done;
+      let st = Svc.stats svc in
+      st.retries = min capacity (calls * 9)
+      && !execs = st.calls + st.retries
+      && st.calls = calls && st.served = 0 && st.failed = calls
+      && (capacity >= calls * 9 || st.budget_denied > 0))
+
+(* --- Shedding invariant ----------------------------------------------- *)
+
+(* No admitted operation ever starts executing past its deadline — not
+   on admission (dead-on-arrival is a rejection, the ops closure is
+   never entered) and not on a retry attempt after backoff pushed the
+   clock over the line.  The backoff here IS the clock's advance
+   function, so retries genuinely consume deadline time. *)
+let test_shed_invariant =
+  Support.qcheck ~count:150 "no admitted op executes past its deadline"
+    QCheck2.Gen.(
+      pair (0 -- 1000)
+        (list_size (int_bound 40) (pair (int_bound 5) (int_range (-3) 8))))
+    (fun (seed, script) ->
+      let clock, advance = Clock.manual () in
+      let violated = ref false in
+      let current_dl = ref Deadline.none in
+      let execs = ref 0 in
+      let fail_rng = Lf_kernel.Splitmix.create seed in
+      let exec () =
+        incr execs;
+        if Deadline.expired ~now:(Clock.now clock) !current_dl then
+          violated := true;
+        if Lf_kernel.Splitmix.bool fail_rng then failwith "flaky" else true
+      in
+      let ops =
+        {
+          Svc.insert = (fun _ _ -> exec ());
+          delete = (fun _ -> exec ());
+          find = (fun _ -> exec ());
+        }
+      in
+      let cfg =
+        Svc.config ~clock ~seed
+          ~retry:(Some (Retry.policy ~max_attempts:4 ~base_delay:3 ~max_delay:12 ()))
+          ~budget:(Retry.Budget.config ~capacity:1000 ~refill_every:0 ())
+          ~shed:(Some (Shed.config ~max_queue:4 ~est_init:1 ()))
+          ~backoff:advance ()
+      in
+      let svc = Svc.create cfg ops in
+      let ok = ref true in
+      List.iter
+        (fun (adv, off) ->
+          advance adv;
+          let nowt = Clock.now clock in
+          let dl = Deadline.at (max 0 (nowt + off)) in
+          current_dl := dl;
+          let expired_now = Deadline.expired ~now:nowt dl in
+          let before = !execs in
+          match Svc.call svc ~deadline:dl (Svc.Insert (nowt land 15, 0)) with
+          | Svc.Rejected r ->
+              (* A rejection must not have executed anything... *)
+              if !execs <> before then ok := false;
+              (* ...and dead-on-arrival must be refused as Expired. *)
+              if expired_now && r <> Svc.Expired then ok := false
+          | Svc.Served _ | Svc.Failed _ -> if expired_now then ok := false)
+        script;
+      !ok && not !violated)
+
+let test_shed_rejects () =
+  let clock, _ = Clock.manual () in
+  let execs = ref 0 in
+  let ops =
+    {
+      Svc.insert = (fun _ _ -> incr execs; true);
+      delete = (fun _ -> incr execs; true);
+      find = (fun _ -> incr execs; true);
+    }
+  in
+  let cfg =
+    Svc.config ~clock
+      ~shed:(Some (Shed.config ~max_queue:2 ~est_init:1000 ~workers:1 ()))
+      ()
+  in
+  let svc = Svc.create cfg ops in
+  Alcotest.check outcome "deep queue is shed"
+    (Svc.Rejected Svc.Queue_full)
+    (Svc.call svc ~queue_depth:5 (Svc.Find 1));
+  Alcotest.check outcome "infeasible deadline is doomed"
+    (Svc.Rejected Svc.Doomed)
+    (Svc.call svc ~deadline:(Deadline.at 10) ~queue_depth:0 (Svc.Find 1));
+  Alcotest.(check int) "neither executed" 0 !execs;
+  let st = Svc.stats svc in
+  Alcotest.(check int) "both counted as calls" 2 st.calls;
+  Alcotest.(check (list (pair string int)))
+    "rejections itemized by reason"
+    [ ("expired", 0); ("queue-full", 1); ("doomed", 1); ("breaker-open", 0);
+      ("write-degraded", 0) ]
+    st.rejected
+
+(* --- Degraded modes through the pipeline ------------------------------ *)
+
+let test_breaker_through_svc () =
+  let clock, advance = Clock.manual () in
+  let failing = ref true in
+  let fallback_hits = ref 0 in
+  let maybe_boom () = if !failing then failwith "boom" else true in
+  let primary =
+    {
+      Svc.insert = (fun _ _ -> maybe_boom ());
+      delete = (fun _ -> maybe_boom ());
+      find = (fun _ -> true);
+    }
+  in
+  let fallback =
+    {
+      Svc.insert = (fun _ _ -> incr fallback_hits; true);
+      delete = (fun _ -> incr fallback_hits; true);
+      find = (fun _ -> incr fallback_hits; true);
+    }
+  in
+  let cfg =
+    Svc.config ~clock ~seed:7
+      ~breaker:
+        (Some
+           (Breaker.config ~window:1000 ~min_calls:3 ~failure_pct:50
+              ~open_for:50 ~probes:2 ()))
+      ~log_decisions:true ()
+  in
+  let svc = Svc.create ~fallback cfg primary in
+  (* Three failed writes trip the breaker. *)
+  for i = 1 to 3 do
+    advance 1;
+    ignore (Svc.call svc (Svc.Insert (i, i)))
+  done;
+  let st = Svc.stats svc in
+  Alcotest.(check (option string)) "breaker open" (Some "open") st.breaker;
+  Alcotest.(check string) "read-only mode" "read-only" st.mode;
+  (* Read-only degrade: writes rejected AS rejections, reads served. *)
+  Alcotest.check outcome "write refused while open"
+    (Svc.Rejected Svc.Write_degraded)
+    (Svc.call svc (Svc.Insert (9, 9)));
+  Alcotest.check outcome "read served while open" (Svc.Served true)
+    (Svc.call svc (Svc.Find 1));
+  (* Recovery: cool-down passes, the fault clears, probes go through the
+     hints-off fallback (the default half-open mode), and two successes
+     close the breaker. *)
+  failing := false;
+  advance 100;
+  Alcotest.check outcome "probe 1 (via fallback)" (Svc.Served true)
+    (Svc.call svc (Svc.Insert (10, 10)));
+  Alcotest.check outcome "probe 2 (via fallback)" (Svc.Served true)
+    (Svc.call svc (Svc.Insert (11, 11)));
+  Alcotest.(check bool) "no-hints fallback took the probes" true
+    (!fallback_hits = 2);
+  let st = Svc.stats svc in
+  Alcotest.(check (option string)) "breaker closed" (Some "closed") st.breaker;
+  Alcotest.(check (list string))
+    "transition trace"
+    [ "open"; "half-open"; "closed" ]
+    (List.map snd st.transitions);
+  Alcotest.(check bool) "degraded serves counted" true
+    (st.served_degraded >= 3);
+  Alcotest.(check bool) "decision log recorded" true
+    (Svc.decision_log svc <> [])
+
+(* --- The coalesced batch path ----------------------------------------- *)
+
+let hashtbl_ops () =
+  let h = Hashtbl.create 64 in
+  let insert k v =
+    if Hashtbl.mem h k then false else (Hashtbl.replace h k v; true)
+  in
+  let delete k =
+    if Hashtbl.mem h k then (Hashtbl.remove h k; true) else false
+  in
+  let find k = Hashtbl.mem h k in
+  ({ Svc.insert; delete; find }, h)
+
+let test_call_many_coalesce () =
+  let clock, advance = Clock.manual () in
+  let ops, _ = hashtbl_ops () in
+  let batch_calls = ref 0 in
+  let batched =
+    {
+      Svc.insert_batch =
+        (fun kvs -> incr batch_calls; List.map (fun (k, v) -> ops.Svc.insert k v) kvs);
+      delete_batch = (fun ks -> incr batch_calls; List.map ops.Svc.delete ks);
+      find_batch = (fun ks -> incr batch_calls; List.map ops.Svc.find ks);
+    }
+  in
+  let cfg = Svc.config ~clock ~coalesce_min:8 () in
+  let svc = Svc.create ~batched cfg ops in
+  (* Below the threshold: one-by-one through [call]. *)
+  let r1 = Svc.call_many svc [ Svc.Find 0; Svc.Insert (1, 1); Svc.Find 1 ] in
+  Alcotest.(check int) "short list stays unbatched" 0 !batch_calls;
+  Alcotest.(check (list outcome))
+    "unbatched results"
+    [ Svc.Served false; Svc.Served true; Svc.Served true ]
+    r1;
+  (* At the threshold: partitioned through the batched entry points,
+     results returned in input order. *)
+  let reqs =
+    [
+      Svc.Insert (2, 2); Svc.Insert (3, 3); Svc.Delete 1; Svc.Find 2;
+      Svc.Find 9; Svc.Insert (2, 9); Svc.Delete 9; Svc.Find 3;
+    ]
+  in
+  let r2 = Svc.call_many svc reqs in
+  Alcotest.(check int) "three kind-batches" 3 !batch_calls;
+  Alcotest.(check (list outcome))
+    "batched results in input order"
+    [
+      Svc.Served true; Svc.Served true; Svc.Served true; Svc.Served true;
+      Svc.Served false; Svc.Served false; Svc.Served false; Svc.Served true;
+    ]
+    r2;
+  (* Per-element admission still applies on the batched path. *)
+  let expired = Deadline.at 0 in
+  advance 1;
+  let r3 =
+    Svc.call_many svc ~deadline:expired
+      (List.init 8 (fun i -> Svc.Find i))
+  in
+  Alcotest.(check (list outcome))
+    "expired batch elements rejected, not executed"
+    (List.init 8 (fun _ -> Svc.Rejected Svc.Expired))
+    r3
+
+(* --- Chaos through the full pipeline (EXP-18 meets EXP-20) ------------ *)
+
+module K = Lf_kernel.Ordered.Int
+module FMem = Lf_fault.Fault_mem.Make (Lf_kernel.Atomic_mem)
+module FS = Lf_skiplist.Fr_skiplist.Make (K) (FMem)
+
+(* A stall plan on lane 0 slows the structure under two chaos lanes while
+   every operation runs through the Svc pipeline.  The service must keep
+   the survivors productive, never raise out of a lane (Crashed is
+   absorbed into retries/Failed), and account for every single call:
+   served + failed + rejected = calls, with rejections itemized. *)
+let test_chaos_through_svc () =
+  let t = FS.create () in
+  let clock = Clock.real () in
+  let rejections = Atomic.make 0 in
+  let ms n = Clock.ms clock n in
+  let cfg =
+    Svc.config ~clock ~seed:5 ~deadline:(ms 50)
+      ~retry:(Some (Retry.policy ~max_attempts:3 ~base_delay:(ms 1 / 4) ()))
+      ~budget:(Retry.Budget.config ~capacity:200 ~refill_every:(ms 10) ())
+      ~breaker:
+        (Some
+           (Breaker.config ~window:(ms 100) ~min_calls:8 ~failure_pct:50
+              ~open_for:(ms 10) ~probes:2 ()))
+      ~shed:(Some (Shed.config ~max_queue:64 ~est_init:(ms 1) ()))
+      ~retryable:(function Fault.Crashed _ -> true | _ -> false)
+      ()
+  in
+  let svc =
+    Svc.create cfg
+      {
+        Svc.insert = (fun k v -> FS.insert t k v);
+        delete = (fun k -> FS.delete t k);
+        find = (fun k -> FS.find t k <> None);
+      }
+  in
+  let to_bool = function
+    | Svc.Served b -> b
+    | Svc.Rejected _ -> Atomic.incr rejections; false
+    | Svc.Failed _ -> false
+  in
+  let plan =
+    Fault.make_plan ~seed:23
+      [
+        { Fault.point = FP.Any_cas; action = Stall 64; mode = Rate (0.05, 2);
+          lane = Some 0 };
+      ]
+  in
+  FMem.install plan;
+  let report =
+    Fun.protect ~finally:FMem.uninstall (fun () ->
+        Runner.run_chaos ~window_s:0.1 ~budget_s:1.0 ~name:"svc+stall"
+          ~insert:(fun k -> to_bool (Svc.call svc (Svc.Insert (k, k))))
+          ~delete:(fun k -> to_bool (Svc.call svc (Svc.Delete k)))
+          ~find:(fun k -> to_bool (Svc.call svc (Svc.Find k)))
+          ~domains:2 ~key_range:256 ~mix:Opgen.mixed ~seed:5 ())
+  in
+  let st = Svc.stats svc in
+  let total_rejected =
+    List.fold_left (fun acc (_, n) -> acc + n) 0 st.rejected
+  in
+  Alcotest.(check int) "every call accounted for" st.calls
+    (st.served + st.failed + total_rejected);
+  Alcotest.(check int) "rejections reported, never dropped"
+    (Atomic.get rejections) total_rejected;
+  Alcotest.(check (list int)) "no lane crashed out" [] report.c_crashed;
+  Alcotest.(check bool) "survivors made progress" true
+    (report.Runner.c_survivor_ops > 0)
+
+(* --- Decision-log determinism ----------------------------------------- *)
+
+(* The whole admit/reject/retry sequence is a pure function of (seed,
+   clock reads): two services built the same way, driven through the
+   same script on fresh manual clocks, must produce identical decision
+   logs — jittered retry delays included. *)
+let run_decisions seed =
+  let clock, advance = Clock.manual () in
+  let fail_rng = Lf_kernel.Splitmix.create 0xbad5eed in
+  let exec () = if Lf_kernel.Splitmix.int fail_rng 3 = 0 then failwith "flaky" else true in
+  let ops =
+    {
+      Svc.insert = (fun _ _ -> exec ());
+      delete = (fun _ -> exec ());
+      find = (fun _ -> exec ());
+    }
+  in
+  let cfg =
+    Svc.config ~clock ~seed
+      ~retry:(Some (Retry.policy ~max_attempts:3 ~base_delay:5 ~max_delay:40 ()))
+      ~budget:(Retry.Budget.config ~capacity:30 ~refill_every:7 ())
+      ~breaker:
+        (Some
+           (Breaker.config ~window:500 ~min_calls:4 ~failure_pct:50
+              ~open_for:20 ~probes:2 ()))
+      ~shed:(Some (Shed.config ~max_queue:8 ~est_init:2 ()))
+      ~backoff:advance ~log_decisions:true ()
+  in
+  let svc = Svc.create cfg ops in
+  for i = 1 to 60 do
+    advance (i mod 4);
+    let req =
+      match i mod 3 with
+      | 0 -> Svc.Insert (i land 31, i)
+      | 1 -> Svc.Delete (i land 31)
+      | _ -> Svc.Find (i land 31)
+    in
+    let dl =
+      if i mod 5 = 0 then Deadline.at (Clock.now clock + 6) else Deadline.none
+    in
+    ignore (Svc.call svc ~deadline:dl ~queue_depth:(i mod 10) req)
+  done;
+  Svc.decision_log svc
+
+let test_decision_determinism =
+  Support.qcheck ~count:30 "same seed => same decision log"
+    QCheck2.Gen.(0 -- 10_000)
+    (fun seed -> run_decisions seed = run_decisions seed)
+
+let () =
+  Alcotest.run "svc"
+    [
+      ( "breaker",
+        [
+          test_breaker_cycle;
+          Alcotest.test_case "latency threshold trips" `Quick
+            test_breaker_latency_trips;
+        ] );
+      ( "budget",
+        [
+          test_budget_conservation_pure;
+          Alcotest.test_case "refill" `Quick test_budget_refill;
+          test_budget_conservation_svc;
+        ] );
+      ( "shedding",
+        [
+          test_shed_invariant;
+          Alcotest.test_case "queue and doomed rejections" `Quick
+            test_shed_rejects;
+        ] );
+      ( "degrade",
+        [
+          Alcotest.test_case "breaker lifecycle through the pipeline" `Quick
+            test_breaker_through_svc;
+          Alcotest.test_case "coalesced batches" `Quick test_call_many_coalesce;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "stall plan through the full pipeline" `Quick
+            test_chaos_through_svc;
+        ] );
+      ( "determinism",
+        [ test_decision_determinism ] );
+    ]

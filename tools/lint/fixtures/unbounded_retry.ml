@@ -1,0 +1,46 @@
+(* Fixture for [no-unbounded-retry]: retry loops in the service layer must
+   consult a budget.  A [while] loop counts as a retry loop by construction;
+   a recursive binding counts when its body handles exceptions ([try] or a
+   [match] with an [exception] case).  A budget identifier anywhere in the
+   body — a [Budget] path component or a name containing "budget" —
+   discharges the obligation. *)
+
+let budget_take b =
+  if !b > 0 then begin
+    decr b;
+    true
+  end
+  else false
+
+(* Recursion that swallows the failure and goes again, with nothing to
+   stop it: under a fault storm this is the amplifier. *)
+let rec retry_forever op = (* EXPECT: no-unbounded-retry *)
+  match op () with v -> v | exception Failure _ -> retry_forever op
+
+(* Same shape via [try]. *)
+let rec retry_try op = (* EXPECT: no-unbounded-retry *)
+  try op () with Failure _ -> retry_try op
+
+(* A spin loop is a retry loop even without an exception handler. *)
+let spin ready =
+  while not (ready ()) do (* EXPECT: no-unbounded-retry *)
+    ignore (Sys.opaque_identity 0)
+  done
+
+(* Budgeted variants are fine: the loop can only go around while the
+   budget grants it.  No markers here. *)
+let rec retry_budgeted budget op =
+  match op () with
+  | v -> Some v
+  | exception Failure _ ->
+      if budget_take budget then retry_budgeted budget op else None
+
+let drain_budgeted budget step =
+  while budget_take budget do
+    step ()
+  done
+
+(* Ordinary recursion over data handles no exceptions; not a retry loop. *)
+let rec sum = function [] -> 0 | x :: tl -> x + sum tl
+
+let _ = (retry_forever, retry_try, spin, retry_budgeted, drain_budgeted, sum)

@@ -1,6 +1,6 @@
 (* Source-level concurrency lint over the compiler-libs parsetree.
 
-   Six rules, each motivated by a class of bug that type-checks fine but
+   Seven rules, each motivated by a class of bug that type-checks fine but
    breaks the lock-free structures at runtime:
 
    - [no-raw-atomic]: every shared cell must go through the [Lf_kernel.Mem.S]
@@ -41,6 +41,14 @@
      memory seam and the span hooks in the harnesses.  Scoped to the
      structure libraries; kernel, harnesses, bench and bin measure freely.
 
+   - [no-unbounded-retry]: a retry loop in the service layer ([lib/svc/])
+     that never consults a [Retry.Budget] can amplify a failure storm
+     without bound — exactly the cascade the layer exists to prevent.
+     Flags [while] loops and recursive bindings that handle exceptions
+     unless a budget identifier appears in the body.  The "budgets off"
+     ablation uses [Budget.unlimited]: same code path, so the obligation
+     holds even there.
+
    The rules are path-scoped and a small waiver table exempts known-benign
    files, each with a reason that is printed if the waiver is ever reported. *)
 
@@ -52,6 +60,7 @@ let rule_obj_magic = "no-obj-magic"
 let rule_poly_compare = "no-poly-compare"
 let rule_fault_hooks = "no-fault-hooks"
 let rule_timing = "no-timing-in-structures"
+let rule_unbounded_retry = "no-unbounded-retry"
 let rule_parse_error = "parse-error"
 
 (* Directories where shared cells are allowed to be raw atomics: the kernel
@@ -73,6 +82,11 @@ let poly_scope_prefixes =
 (* Structure code that must stay clock- and recorder-free: the same
    libraries.  Harness trees, the kernel and lib/obs itself measure. *)
 let timing_scope_prefixes = poly_scope_prefixes
+
+(* The service layer: every retry loop must consult a [Retry.Budget], so
+   an unbudgeted retry path cannot sneak in (the "budgets off" ablation
+   uses [Budget.unlimited] — same code path, different answer). *)
+let retry_scope_prefixes = [ "lib/svc/" ]
 
 (* file, rule, reason.  Waivers are deliberate, reviewed exceptions. *)
 let waivers =
@@ -106,6 +120,10 @@ let waivers =
     ( "bench/exp19.ml",
       rule_raw_atomic,
       "start barrier for benchmark domains; harness synchronization" );
+    ( "bench/exp20.ml",
+      rule_raw_atomic,
+      "cross-worker goodput/retry counters on the measurement side of the \
+       service layer; never part of a structure's protocol" );
   ]
 
 let waived path rule =
@@ -130,6 +148,8 @@ let rule_active ~all path rule =
        has_prefix path [ "lib/" ] && not (has_prefix path fault_allowed_prefixes)
      else if String.equal rule rule_timing then
        has_prefix path timing_scope_prefixes
+     else if String.equal rule rule_unbounded_retry then
+       has_prefix path retry_scope_prefixes
      else true
 
 open Parsetree
@@ -198,6 +218,74 @@ let poly_msg what =
   ^ " can chase succ/backlink pointers into cycles on node types; use the \
      key module's comparison instead"
 
+(* no-unbounded-retry: a loop that retries (a [while], or a recursive
+   binding that handles exceptions — [try] or a [match] with an
+   [exception] case) must mention a budget somewhere in its body: an
+   identifier with a [Budget] path component, or whose name contains
+   "budget".  Syntactic by design — the lint keeps the author honest
+   about consulting Retry.Budget; the conservation tests check the
+   semantics. *)
+
+exception Found_in_subtree
+
+let expr_contains pred (e : Parsetree.expression) =
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      expr =
+        (fun it e ->
+          if pred e then raise Found_in_subtree else default.expr it e);
+    }
+  in
+  try
+    it.expr it e;
+    false
+  with Found_in_subtree -> true
+
+let lid_components lid =
+  let rec go acc = function
+    | Longident.Lident s -> s :: acc
+    | Longident.Ldot (l, s) -> go (s :: acc) l
+    | Longident.Lapply (l1, l2) -> go (go acc l2) l1
+  in
+  go [] lid
+
+let contains_budget_word s =
+  let s = String.lowercase_ascii s in
+  let n = String.length s and m = String.length "budget" in
+  let rec at i =
+    i + m <= n && (String.equal (String.sub s i m) "budget" || at (i + 1))
+  in
+  at 0
+
+let mentions_budget =
+  expr_contains (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } ->
+          List.exists
+            (fun c -> String.equal c "Budget" || contains_budget_word c)
+            (lid_components txt)
+      | _ -> false)
+
+let is_retryish =
+  expr_contains (fun e ->
+      match e.pexp_desc with
+      | Pexp_try _ -> true
+      | Pexp_match (_, cases) ->
+          List.exists
+            (fun (c : case) ->
+              match c.pc_lhs.ppat_desc with
+              | Ppat_exception _ -> true
+              | _ -> false)
+            cases
+      | _ -> false)
+
+let unbounded_retry_msg =
+  "retry loop without a budget consultation; every retry decision in \
+   lib/svc must go through Retry.Budget (Budget.take — Budget.unlimited \
+   for the ablation) so failure storms cannot amplify without bound"
+
 let compare_lr (l1, r1) (l2, r2) =
   match Int.compare l1 l2 with 0 -> String.compare r1 r2 | c -> c
 
@@ -253,10 +341,27 @@ let check_file ~all path =
           report loc rule_poly_compare (poly_msg "Hashtbl.hash")
       | _ -> ()
   in
+  (* A [while] loop is a retry loop by construction; a recursive binding
+     only when its body handles exceptions (otherwise it is ordinary
+     recursion over data).  Either way, a budget identifier somewhere in
+     the body discharges the obligation. *)
+  let check_retry_bindings vbs =
+    List.iter
+      (fun (vb : value_binding) ->
+        if is_retryish vb.pvb_expr && not (mentions_budget vb.pvb_expr) then
+          report vb.pvb_loc rule_unbounded_retry unbounded_retry_msg)
+      vbs
+  in
   let default = Ast_iterator.default_iterator in
   let it =
     {
       default with
+      structure_item =
+        (fun it si ->
+          (match si.pstr_desc with
+          | Pstr_value (Recursive, vbs) -> check_retry_bindings vbs
+          | _ -> ());
+          default.structure_item it si);
       expr =
         (fun it e ->
           match e.pexp_desc with
@@ -269,6 +374,13 @@ let check_file ~all path =
           | Pexp_construct ({ txt; loc }, _)
             when String.equal (root_of_lid txt) "Lf_fault" ->
               report loc rule_fault_hooks fault_msg;
+              default.expr it e
+          | Pexp_while (_, _) ->
+              if not (mentions_budget e) then
+                report e.pexp_loc rule_unbounded_retry unbounded_retry_msg;
+              default.expr it e
+          | Pexp_let (Recursive, vbs, _) ->
+              check_retry_bindings vbs;
               default.expr it e
           | _ -> default.expr it e);
       module_expr =
