@@ -36,6 +36,7 @@ let experiments : (string * string * (unit -> unit)) list =
     ("exp18", "graceful degradation under faults", fun () -> ignore (Exp18.run ()));
     ("exp19", "observability overhead + contention", fun () -> ignore (Exp19.run ()));
     ("exp20", "overload robustness: svc pipeline", fun () -> ignore (Exp20.run ()));
+    ("exp21", "DPOR vs CHESS schedule counts", fun () -> ignore (Exp21.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 

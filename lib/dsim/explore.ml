@@ -18,7 +18,9 @@
 
 type outcome = {
   schedules_run : int;
-  truncated : bool; (* stopped at [max_schedules] before exhausting *)
+  truncated : bool;
+      (* stopped before exhausting: at [max_schedules], or because
+         [max_failures] distinct failures were already recorded *)
   failures : (int list * string) list;
       (* forced-choice prefix that reproduces the failure, plus message *)
 }
@@ -72,18 +74,34 @@ let run ?(max_preemptions = 2) ?(max_schedules = 100_000)
   let schedules = ref 0 in
   let truncated = ref false in
   let failures = ref [] in
+  let n_failures = ref 0 in
+  (* Distinct forced prefixes can replay to the same full decision trace
+     (a failing prefix and its extensions by default choices all reproduce
+     one schedule): report each failing schedule once, keyed by the trace
+     it replays to. *)
+  let seen_failure_traces : (int list, unit) Hashtbl.t = Hashtbl.create 16 in
+  let exception Enough_failures in
   let rec dfs forced budget =
     if !schedules >= max_schedules then truncated := true
     else begin
       incr schedules;
       let trace, verdict = run_one ~max_steps mk (Array.of_list forced) in
+      let chosen_list = List.map (fun (_, c, _) -> c) trace in
       (match verdict with
       | Ok () -> ()
       | Error msg ->
-          if List.length !failures < max_failures then
-            failures := (forced, msg) :: !failures);
+          if not (Hashtbl.mem seen_failure_traces chosen_list) then begin
+            Hashtbl.add seen_failure_traces chosen_list ();
+            failures := (forced, msg) :: !failures;
+            incr n_failures;
+            if !n_failures >= max_failures then begin
+              (* Stopping here leaves schedules unexplored - that is a
+                 truncation, and the outcome must say so. *)
+              truncated := true;
+              raise Enough_failures
+            end
+          end);
       let base = List.length forced in
-      let chosen_list = List.map (fun (_, c, _) -> c) trace in
       List.iteri
         (fun i (runnable, chosen, prev) ->
           if i >= base then
@@ -93,7 +111,10 @@ let run ?(max_preemptions = 2) ?(max_schedules = 100_000)
                   (* Preemptive if we abandon a process that could have
                      continued. *)
                   let cost = if List.mem prev runnable && alt <> prev then 1 else 0 in
-                  if cost <= budget && !schedules < max_schedules then begin
+                  (* No [!schedules < max_schedules] here: the check at the
+                     top of [dfs] both stops the replay and records the
+                     truncation — skipping the call would stop silently. *)
+                  if cost <= budget then begin
                     let prefix = List.filteri (fun j _ -> j < i) chosen_list in
                     dfs (prefix @ [ alt ]) (budget - cost)
                   end
@@ -102,7 +123,7 @@ let run ?(max_preemptions = 2) ?(max_schedules = 100_000)
         trace
     end
   in
-  dfs [] max_preemptions;
+  (try dfs [] max_preemptions with Enough_failures -> ());
   {
     schedules_run = !schedules;
     truncated = !truncated;
@@ -230,13 +251,13 @@ let run_crash ?(max_preemptions = 0) ?(max_crashes = 1) ?crashable
                     let cost =
                       if List.mem prev runnable && alt <> prev then 1 else 0
                     in
-                    if cost <= p_budget && !schedules < max_schedules then
+                    (* As in [run]: the top-of-[dfs] check records the
+                       truncation; guarding the call would stop silently. *)
+                    if cost <= p_budget then
                       dfs (prefix () @ [ Run alt ]) (p_budget - cost) c_budget
                 | Run _ | Crash _ -> ());
-                if
-                  c_budget > 0 && may_crash alt
-                  && !schedules < max_schedules
-                then dfs (prefix () @ [ Crash alt ]) p_budget (c_budget - 1))
+                if c_budget > 0 && may_crash alt then
+                  dfs (prefix () @ [ Crash alt ]) p_budget (c_budget - 1))
               runnable
           end)
         trace

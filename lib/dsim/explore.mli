@@ -14,9 +14,14 @@
 
 type outcome = {
   schedules_run : int;
-  truncated : bool;  (** stopped at [max_schedules] before exhausting *)
+  truncated : bool;
+      (** stopped before exhausting the bounded schedule space: at
+          [max_schedules], or because [max_failures] distinct failures were
+          already recorded *)
   failures : (int list * string) list;
-      (** forced-choice prefix reproducing each failure, plus its message *)
+      (** forced-choice prefix reproducing each failure, plus its message.
+          One entry per {e distinct} failing schedule: prefixes that replay
+          to the same full decision trace are reported once. *)
 }
 
 val run_one :

@@ -37,9 +37,19 @@ type op_record = {
 
 type proc_status =
   | Not_started of (unit -> unit)
-  | Blocked of Sim_effect.step_kind * (unit, unit) Effect.Deep.continuation
+  | Blocked of Sim_effect.step * (unit, unit) Effect.Deep.continuation
   | Running (* transient, while the process executes *)
   | Finished
+
+(* One executed shared-memory action, footprint included: what the DPOR
+   model checker's dependency analysis reads after every slice.  [a_cas_ok]
+   is the outcome of a C&S step (a failed C&S is read-like: it wrote
+   nothing), [None] for non-C&S steps. *)
+type access = {
+  a_pid : pid;
+  a_step : Sim_effect.step;
+  a_cas_ok : bool option;
+}
 
 type state = {
   procs : proc_status array;
@@ -52,6 +62,9 @@ type state = {
   mutable records : op_record list; (* completed + (at the end) unfinished *)
   mutable op_counter : int array;
   mutable last_step : (pid * Sim_effect.step_kind) option;
+  mutable last_access : access option;
+  mutable cas_result : bool option;
+      (* outcome note of the C&S executing in the current slice *)
 }
 
 type policy =
@@ -84,7 +97,12 @@ let is_crashed st pid = st.crashed.(pid)
 
 let pending_kind st pid =
   match st.procs.(pid) with
-  | Blocked (k, _) -> Some k
+  | Blocked (s, _) -> Some s.Sim_effect.kind
+  | Not_started _ | Running | Finished -> None
+
+let pending_access st pid =
+  match st.procs.(pid) with
+  | Blocked (s, _) -> Some s
   | Not_started _ | Running | Finished -> None
 
 let ops_completed st pid = st.op_counter.(pid)
@@ -94,6 +112,7 @@ let counters st pid = st.counters.(pid)
 let total_steps st = st.total_steps
 
 let last_step st = st.last_step
+let last_access st = st.last_access
 
 let runnable st =
   let out = ref [] in
@@ -152,8 +171,10 @@ let record_note st pid (n : Sim_effect.note) =
   let c = st.counters.(pid) in
   (match n with
   | Ev e -> Counters.record c e
-  | Cas_ok kind -> Counters.record_cas_success c kind
-  | Cas_fail _ -> ()
+  | Cas_ok kind ->
+      st.cas_result <- Some true;
+      Counters.record_cas_success c kind
+  | Cas_fail _ -> st.cas_result <- Some false
   | Op_begin _ | Op_end -> ());
   match n with
   | Ev e -> (
@@ -224,10 +245,10 @@ let handle st pid (f : unit -> unit) =
       effc =
         (fun (type a) (eff : a Effect.t) ->
           match eff with
-          | Sim_effect.Step k ->
+          | Sim_effect.Step s ->
               Some
                 (fun (cont : (a, unit) Effect.Deep.continuation) ->
-                  st.procs.(pid) <- Blocked (k, cont))
+                  st.procs.(pid) <- Blocked (s, cont))
           | Sim_effect.Note n ->
               Some
                 (fun (cont : (a, unit) Effect.Deep.continuation) ->
@@ -277,6 +298,8 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
       records = [];
       op_counter = Array.make p 0;
       last_step = None;
+      last_access = None;
+      cas_result = None;
     }
   in
   let rng =
@@ -318,17 +341,19 @@ let run ?(policy = Round_robin) ?(max_steps = 50_000_000) ?on_step
             running := Some pid;
             handle st pid body;
             running := None
-        | Blocked (k, cont) ->
+        | Blocked (s, cont) ->
             st.total_steps <- st.total_steps + 1;
             vclock := st.total_steps;
             if st.total_steps > max_steps then
               raise (Step_budget_exhausted st.total_steps);
             st.procs.(pid) <- Running;
-            st.last_step <- Some (pid, k);
-            record_step st pid k;
+            st.last_step <- Some (pid, s.Sim_effect.kind);
+            record_step st pid s.Sim_effect.kind;
+            st.cas_result <- None;
             running := Some pid;
             Effect.Deep.continue cont ();
-            running := None
+            running := None;
+            st.last_access <- Some { a_pid = pid; a_step = s; a_cas_ok = st.cas_result }
         | Running -> failwith "Sim: scheduled a running process"
         | Finished -> failwith "Sim: scheduled a finished process");
         (match on_step with Some f -> f st pid | None -> ());

@@ -59,6 +59,14 @@ val pending_kind : state -> pid -> Sim_effect.step_kind option
 (** What the process will do when next scheduled ([None] if it has not
     started or has finished). *)
 
+val pending_access : state -> pid -> Sim_effect.step option
+(** The full pending step, footprint included: which cell the process will
+    touch when next scheduled and how.  [None] if the process has not
+    started (its first slice runs only private code up to its first
+    shared-memory access) or has finished.  This is the per-operation
+    dependency information the DPOR model checker ([Lf_model]) schedules
+    by. *)
+
 val ops_completed : state -> pid -> int
 val in_operation : state -> pid -> bool
 val active_ops : state -> int
@@ -82,6 +90,20 @@ val is_crashed : state -> pid -> bool
 val last_step : state -> (pid * Sim_effect.step_kind) option
 (** The most recently executed shared-memory action (what an [on_step]
     callback is being notified about); [None] before the first action. *)
+
+(** One executed shared-memory action with its dependency footprint.
+    [a_cas_ok] is [Some outcome] for C&S steps - a failed C&S wrote
+    nothing, so dependency analyses may treat it as a read - and [None]
+    otherwise. *)
+type access = {
+  a_pid : pid;
+  a_step : Sim_effect.step;
+  a_cas_ok : bool option;
+}
+
+val last_access : state -> access option
+(** Like {!last_step}, with the footprint and C&S outcome.  Not updated by
+    launch slices (which execute no shared-memory action). *)
 
 (** {1 Operation boundaries (called from process bodies)} *)
 

@@ -6,13 +6,26 @@
    what scripted adversaries (e.g. the Section 3.1 construction) inspect to
    decide whom to run.  [Note]s are instantaneous annotations (cost-model
    events, operation boundaries); the scheduler resumes them immediately, so
-   they are not scheduling points. *)
+   they are not scheduling points.
+
+   A [Step] also carries its *dependency footprint*: the identity of the
+   cell about to be touched ([loc], unique per [Sim_mem] cell; 0 for
+   [Pause], which touches nothing) and, for stores, the physical identity
+   of the value about to be written.  Two steps commute unless they touch
+   the same cell and at least one writes; same-value blind stores (the
+   backlink pattern, where every racing helper writes the same node) also
+   commute.  This is what the DPOR model checker (lib/model) consumes. *)
 
 type step_kind =
   | Read
   | Write
   | Cas of Lf_kernel.Mem_event.cas_kind
   | Pause
+
+(* What a process is about to do: the action, the touched cell, and (for
+   [Write]) the stored value's physical identity.  [value] is [Obj.repr ()]
+   when there is nothing to store. *)
+type step = { kind : step_kind; loc : int; value : Obj.t }
 
 type note =
   | Ev of Lf_kernel.Mem_event.t
@@ -22,7 +35,7 @@ type note =
   | Op_end
 
 type _ Effect.t +=
-  | Step : step_kind -> unit Effect.t
+  | Step : step -> unit Effect.t
   | Note : note -> unit Effect.t
 
 let step_kind_to_string = function

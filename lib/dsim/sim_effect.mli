@@ -6,13 +6,26 @@
     do next - which is what scripted adversaries (e.g. the Section 3.1
     construction) inspect to decide whom to run.  {!extension-Note}s are
     instantaneous annotations (cost-model events, operation boundaries) that
-    are not scheduling points. *)
+    are not scheduling points.
+
+    A step also carries its {e dependency footprint}: the identity of the
+    cell about to be touched and, for stores, the physical identity of the
+    value about to be written.  Two steps commute unless they touch the same
+    cell and at least one writes; same-value blind stores (the backlink
+    pattern) also commute.  The DPOR model checker ([Lf_model]) consumes
+    exactly this. *)
 
 type step_kind =
   | Read
   | Write
   | Cas of Lf_kernel.Mem_event.cas_kind
   | Pause
+
+type step = { kind : step_kind; loc : int; value : Obj.t }
+(** What a process is about to do: the action, the touched cell ([loc] is
+    unique per [Sim_mem] cell; 0 for [Pause]), and for [Write] the stored
+    value's physical identity ([Obj.repr ()] when there is nothing to
+    store). *)
 
 type note =
   | Ev of Lf_kernel.Mem_event.t
@@ -23,7 +36,7 @@ type note =
   | Op_end
 
 type _ Effect.t +=
-  | Step : step_kind -> unit Effect.t
+  | Step : step -> unit Effect.t
   | Note : note -> unit Effect.t
 
 val step_kind_to_string : step_kind -> string

@@ -4,18 +4,33 @@
    Cells are plain mutable records - safe because the scheduler interleaves
    processes cooperatively on a single domain; atomicity of each access is
    guaranteed by the fact that a resumed process executes its pending action
-   before any other process can run. *)
+   before any other process can run.
 
-type 'a aref = { mutable v : 'a }
+   Each cell carries a process-wide unique [id], announced with every
+   [Step], so schedulers can see *which* cell a pending access will touch.
+   The DPOR model checker's dependency analysis (lib/model) is built on
+   exactly this: two pending steps commute unless they name the same id and
+   one of them writes. *)
 
-let make v = { v }
+type 'a aref = { mutable v : 'a; id : int }
+
+(* Monotone across the whole process: ids are compared only within one
+   simulator run, where allocation order is deterministic. *)
+let next_id = ref 0
+
+let make v =
+  incr next_id;
+  { v; id = !next_id }
+
+let unit_repr = Obj.repr ()
 
 let get r =
-  Effect.perform (Sim_effect.Step Read);
+  Effect.perform (Sim_effect.Step { kind = Read; loc = r.id; value = unit_repr });
   r.v
 
 let cas r ~kind ~expect v' =
-  Effect.perform (Sim_effect.Step (Cas kind));
+  Effect.perform
+    (Sim_effect.Step { kind = Cas kind; loc = r.id; value = Obj.repr v' });
   if r.v == expect then begin
     r.v <- v';
     Effect.perform (Sim_effect.Note (Cas_ok kind));
@@ -27,10 +42,14 @@ let cas r ~kind ~expect v' =
   end
 
 let set r v =
-  Effect.perform (Sim_effect.Step Write);
+  Effect.perform
+    (Sim_effect.Step { kind = Write; loc = r.id; value = Obj.repr v });
   r.v <- v
 
 let event e = Effect.perform (Sim_effect.Note (Ev e))
-let pause _n = Effect.perform (Sim_effect.Step Pause)
+
+let pause _n =
+  Effect.perform (Sim_effect.Step { kind = Pause; loc = 0; value = unit_repr })
+
 let stamp _ = 0
 let annotate _ (_ : _ Lf_kernel.Protocol.annot) = ()

@@ -1,0 +1,323 @@
+(* Dynamic partial-order reduction (Flanagan & Godefroid, POPL 2005) with
+   sleep sets, replay-based, over the deterministic simulator.
+
+   The exploration tree is a stack of frames, one per scheduling decision
+   on the current path.  Each frame remembers which processes were enabled,
+   which choice is currently taken, which choices are done, the backtrack
+   set (choices some detected race obliges us to try) and the sleep set on
+   entry.  A replay forces the frames' choices up to a deviation point,
+   takes the new choice there, then follows the default rule; during the
+   run every executed access is checked against the per-cell access history
+   with vector clocks, and each race (dependent accesses of different
+   processes, unordered by happens-before) adds the racing process to the
+   backtrack set of the frame where its earlier rival ran.  The loop pops
+   to the deepest frame with an unexplored obligation until none remain.
+
+   Soundness of the pruning leans on three properties of the seam:
+   - every shared-memory access is a [Step] effect carrying its footprint
+     (Sim_mem is the only memory below the structures here, and the checked
+     wrappers delegate without adding steps);
+   - the simulator is deterministic, so identical choice prefixes replay
+     identical runs and the recorded frames stay valid across replays;
+   - launch slices execute no shared access, so launching in fixed pid
+     order loses no interleavings. *)
+
+module Sim = Lf_dsim.Sim
+module V = Lf_check.Vclock
+module IntSet = Set.Make (Int)
+
+type outcome = {
+  schedules_run : int;
+  sleep_set_prunes : int;
+  max_depth : int;
+  truncated : bool;
+  failures : (int list * string) list;
+}
+
+(* Minimal growable array (stdlib Dynarray is 5.2+). *)
+module Da = struct
+  type 'a t = { mutable a : 'a array; mutable n : int }
+
+  let create () = { a = [||]; n = 0 }
+  let length t = t.n
+  let get t i = t.a.(i)
+
+  let push t x =
+    if t.n = Array.length t.a then begin
+      let a' = Array.make (max 8 (2 * t.n)) x in
+      Array.blit t.a 0 a' 0 t.n;
+      t.a <- a'
+    end;
+    t.a.(t.n) <- x;
+    t.n <- t.n + 1
+
+  let truncate t n = if n < t.n then t.n <- n
+end
+
+type frame = {
+  f_enabled : int list;  (* runnable pids at this decision *)
+  mutable f_chosen : int;  (* choice on the current path *)
+  mutable f_done : IntSet.t;  (* choices explored (or being explored) *)
+  mutable f_backtrack : IntSet.t;  (* choices races oblige us to try *)
+  f_sleep : IntSet.t;  (* sleep set on entry to this frame *)
+}
+
+(* One executed access in the per-cell history of the current replay. *)
+type entry = {
+  e_depth : int;
+  e_pid : int;
+  e_fp : Footprint.t;
+  e_clock : V.t;  (* the executing process's clock just after the access *)
+}
+
+let clock_copy c =
+  let d = V.create () in
+  V.join d c;
+  d
+
+let not_deterministic () =
+  failwith
+    "Dpor: forced choice not runnable - the scenario is not deterministic \
+     (is it drawing from a global RNG?)"
+
+(* A single replay, shared by [run] (which passes the frame stack and a
+   deviation point) and [run_one] (no frames: forced prefix only).  Returns
+   the verdict, whether the run was pruned by the sleep set, and the full
+   decision trace. *)
+let replay ?frames ?(deviation = -1) ~max_steps mk (forced_one : int array) =
+  let bodies, check = mk () in
+  let nprocs = Array.length bodies in
+  let proc_clocks = Array.init nprocs (fun _ -> V.create ()) in
+  let history : (int, entry list ref) Hashtbl.t = Hashtbl.create 64 in
+  let depth = ref 0 in
+  let last = ref (-1) in
+  let pruned = ref false in
+  let choices_rev = ref [] in
+  let sleep = ref IntSet.empty in
+  let awaiting = ref (-1) in
+  let forced_len =
+    match frames with
+    | Some _ -> deviation + 1 (* frames 0..deviation carry the choices *)
+    | None -> Array.length forced_one
+  in
+  let policy st =
+    match Sim.runnable st with
+    | [] -> None
+    | runnable -> (
+        match
+          List.find_opt
+            (fun p -> Option.is_none (Sim.pending_access st p))
+            runnable
+        with
+        | Some p -> Some p (* launch: private code only, not a decision *)
+        | None -> (
+            let d = !depth in
+            let choice =
+              if d < forced_len then begin
+                let c =
+                  match frames with
+                  | Some fs ->
+                      let f = Da.get fs d in
+                      if d = deviation then
+                        (* Entering the new branch: siblings explored from
+                           this frame join the inherited sleep set. *)
+                        sleep :=
+                          IntSet.union f.f_sleep
+                            (IntSet.remove f.f_chosen f.f_done);
+                      f.f_chosen
+                  | None -> forced_one.(d)
+                in
+                if not (List.mem c runnable) then not_deterministic ();
+                Some c
+              end
+              else
+                let awake =
+                  List.filter (fun p -> not (IntSet.mem p !sleep)) runnable
+                in
+                match awake with
+                | [] ->
+                    (* Everything runnable is asleep: any continuation is a
+                       permutation of an already-explored trace. *)
+                    pruned := true;
+                    None
+                | aw ->
+                    let c = if List.mem !last aw then !last else List.hd aw in
+                    (match frames with
+                    | Some fs when d >= forced_len ->
+                        assert (Da.length fs = d);
+                        Da.push fs
+                          {
+                            f_enabled = runnable;
+                            f_chosen = c;
+                            f_done = IntSet.singleton c;
+                            f_backtrack = IntSet.empty;
+                            f_sleep = !sleep;
+                          }
+                    | _ -> ());
+                    Some c
+            in
+            match choice with
+            | None -> None
+            | Some chosen ->
+                depth := d + 1;
+                choices_rev := chosen :: !choices_rev;
+                last := chosen;
+                awaiting := d;
+                Some chosen))
+  in
+  let on_step st _pid =
+    let d = !awaiting in
+    if d >= 0 then begin
+      awaiting := -1;
+      match Sim.last_access st with
+      | None -> ()
+      | Some a -> (
+          match Footprint.of_access a with
+          | None -> () (* pause: touches nothing *)
+          | Some fp ->
+              let p = a.Sim.a_pid in
+              let hist =
+                match Hashtbl.find_opt history fp.Footprint.loc with
+                | Some r -> r
+                | None ->
+                    let r = ref [] in
+                    Hashtbl.add history fp.Footprint.loc r;
+                    r
+              in
+              let deps =
+                List.filter (fun e -> Footprint.dependent e.e_fp fp) !hist
+              in
+              let v_before = clock_copy proc_clocks.(p) in
+              (* The access happens-after every dependent predecessor. *)
+              List.iter (fun e -> V.join proc_clocks.(p) e.e_clock) deps;
+              V.set proc_clocks.(p) p (d + 1);
+              (* Race: a dependent predecessor of another process, not
+                 already ordered before us - someone must try running [p]
+                 at the decision where the rival ran. *)
+              (match frames with
+              | None -> ()
+              | Some fs ->
+                  List.iter
+                    (fun e ->
+                      if
+                        e.e_pid <> p
+                        && e.e_depth + 1 > V.get v_before e.e_pid
+                      then begin
+                        let f = Da.get fs e.e_depth in
+                        if List.mem p f.f_enabled then
+                          f.f_backtrack <- IntSet.add p f.f_backtrack
+                        else
+                          f.f_backtrack <-
+                            List.fold_left
+                              (fun s q -> IntSet.add q s)
+                              f.f_backtrack f.f_enabled
+                      end)
+                    deps);
+              hist :=
+                {
+                  e_depth = d;
+                  e_pid = p;
+                  e_fp = fp;
+                  e_clock = clock_copy proc_clocks.(p);
+                }
+                :: !hist;
+              (* Wake sleeping processes whose pending access no longer
+                 commutes with what just executed. *)
+              if not (IntSet.is_empty !sleep) then
+                sleep :=
+                  IntSet.filter
+                    (fun q ->
+                      match Sim.pending_access st q with
+                      | None -> false
+                      | Some s -> (
+                          match Footprint.of_pending s with
+                          | None -> true
+                          | Some qfp -> not (Footprint.dependent qfp fp)))
+                    !sleep)
+    end
+  in
+  let verdict =
+    match Sim.run ~policy:(Sim.Custom policy) ~on_step ~max_steps bodies with
+    | (_ : Sim.result) -> if !pruned then Ok () else check ()
+    | exception e -> Error (Printexc.to_string e)
+  in
+  (verdict, !pruned, List.rev !choices_rev)
+
+let run_one ~max_steps mk forced =
+  let verdict, _, trace = replay ~max_steps mk forced in
+  (trace, verdict)
+
+let run ?(max_schedules = 200_000) ?(max_steps = 1_000_000)
+    ?(max_failures = 10)
+    (mk : unit -> (Sim.pid -> unit) array * (unit -> (unit, string) result)) :
+    outcome =
+  let frames : frame Da.t = Da.create () in
+  let schedules = ref 0 in
+  let prunes = ref 0 in
+  let max_depth = ref 0 in
+  let truncated = ref false in
+  let failures = ref [] in
+  let n_failures = ref 0 in
+  let seen_failure_traces : (int list, unit) Hashtbl.t = Hashtbl.create 16 in
+  let exception Stop in
+  let do_replay ~deviation () =
+    if !schedules + !prunes >= max_schedules then begin
+      truncated := true;
+      raise Stop
+    end;
+    let verdict, pruned, trace =
+      replay ~frames ~deviation ~max_steps mk [||]
+    in
+    max_depth := max !max_depth (List.length trace);
+    if pruned then incr prunes
+    else begin
+      incr schedules;
+      match verdict with
+      | Ok () -> ()
+      | Error msg ->
+          if not (Hashtbl.mem seen_failure_traces trace) then begin
+            Hashtbl.add seen_failure_traces trace ();
+            failures := (trace, msg) :: !failures;
+            incr n_failures;
+            if !n_failures >= max_failures then begin
+              truncated := true;
+              raise Stop
+            end
+          end
+    end
+  in
+  (try
+     do_replay ~deviation:(-1) ();
+     let continue = ref true in
+     while !continue do
+       (* Deepest frame with an unexplored obligation.  Obligations inside
+          the frame's sleep set are redundant by the sleep-set theorem:
+          every trace starting there has been explored from an earlier
+          sibling. *)
+       let rec find i =
+         if i < 0 then None
+         else
+           let f = Da.get frames i in
+           let cand =
+             IntSet.diff f.f_backtrack (IntSet.union f.f_done f.f_sleep)
+           in
+           if IntSet.is_empty cand then find (i - 1)
+           else Some (i, IntSet.min_elt cand)
+       in
+       match find (Da.length frames - 1) with
+       | None -> continue := false
+       | Some (i, c) ->
+           let f = Da.get frames i in
+           f.f_done <- IntSet.add c f.f_done;
+           f.f_chosen <- c;
+           Da.truncate frames (i + 1);
+           do_replay ~deviation:i ()
+     done
+   with Stop -> ());
+  {
+    schedules_run = !schedules;
+    sleep_set_prunes = !prunes;
+    max_depth = !max_depth;
+    truncated = !truncated;
+    failures = List.rev !failures;
+  }

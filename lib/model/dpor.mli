@@ -1,0 +1,62 @@
+(** Stateless model checking with dynamic partial-order reduction
+    (Flanagan & Godefroid, POPL 2005), with sleep sets (Godefroid), over
+    the deterministic simulator.
+
+    Where {!Lf_dsim.Explore} bounds the search with a preemption budget,
+    [run] explores a {e provably sufficient} subset of {e all}
+    interleavings: per-step dependency footprints ({!Footprint}) say which
+    adjacent steps commute, happens-before vector clocks detect races
+    between dependent steps of different processes, and every detected race
+    adds a backtrack obligation at the earliest decision that could reorder
+    it.  When the search drains with no obligation left, every Mazurkiewicz
+    trace (equivalence class of interleavings under commutation) of the
+    scenario has been executed at least once — exhaustiveness without
+    enumerating the full factorial schedule space.
+
+    Scheduling model: a process whose next shared-memory access is not yet
+    known (it has not started) is launched first, lowest pid first; the
+    launch slice executes only private code up to the first access, so it
+    commutes with everything and is not a decision.  After that every
+    decision point knows each runnable process's pending footprint.  A
+    decision trace (the pid chosen at each decision) fully determines the
+    run, which is what makes failures replayable. *)
+
+type outcome = {
+  schedules_run : int;  (** complete replays (oracle evaluated) *)
+  sleep_set_prunes : int;
+      (** replays abandoned because every runnable process was asleep —
+          the continuation is a permutation of already-explored traces *)
+  max_depth : int;  (** longest decision trace executed *)
+  truncated : bool;
+      (** stopped early: at [max_schedules] total replays, or after
+          [max_failures] distinct failures.  When [false], the schedule
+          space was exhausted up to trace equivalence. *)
+  failures : (int list * string) list;
+      (** decision trace reproducing each distinct failing schedule
+          (replay with {!run_one}), plus its message *)
+}
+
+val run_one :
+  max_steps:int ->
+  (unit -> (Lf_dsim.Sim.pid -> unit) array * (unit -> (unit, string) result)) ->
+  int array ->
+  int list * (unit, string) result
+(** One replay under a forced decision prefix (same auto-launch convention
+    as {!run}; past the prefix, the default rule continues the last-run
+    process, else the lowest runnable pid).  Returns the full decision
+    trace and the oracle's verdict.  Replays the traces {!run} reports in
+    [failures]. *)
+
+val run :
+  ?max_schedules:int ->
+  ?max_steps:int ->
+  ?max_failures:int ->
+  (unit -> (Lf_dsim.Sim.pid -> unit) array * (unit -> (unit, string) result)) ->
+  outcome
+(** [run mk] explores the scenario to trace-exhaustion (or truncation).
+    The contract for [mk] is {!Lf_dsim.Explore.run}'s: fresh bodies over a
+    fresh structure each call, oracle evaluated after the run, and the
+    scenario must be deterministic (same choices => same run).  A mid-run
+    exception (checked-memory protocol violation, step budget) is recorded
+    as that schedule's failure.  Defaults: 200_000 replays, 1_000_000
+    steps per replay, 10 recorded failures. *)

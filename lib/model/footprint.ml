@@ -1,0 +1,62 @@
+(* Dependency footprints: the commutation theory DPOR reduces with.  See
+   the .mli for the relation; the subtleties live in [same_value] (one
+   level of structure, physical below - just enough to recognise racing
+   helpers storing the same [Node prev] backlink) and in the asymmetry
+   between executed C&S (outcome known: failed = read) and pending C&S
+   (outcome unknown: conservatively a write). *)
+
+module SE = Lf_dsim.Sim_effect
+
+type rw = R | W | W_val of Obj.t
+
+type t = { loc : int; rw : rw }
+
+let of_access (a : Lf_dsim.Sim.access) : t option =
+  let s = a.a_step in
+  match s.SE.kind with
+  | SE.Pause -> None
+  | SE.Read -> Some { loc = s.SE.loc; rw = R }
+  | SE.Write -> Some { loc = s.SE.loc; rw = W_val s.SE.value }
+  | SE.Cas _ -> (
+      match a.a_cas_ok with
+      | Some true -> Some { loc = s.SE.loc; rw = W }
+      | Some false | None -> Some { loc = s.SE.loc; rw = R })
+
+let of_pending (s : SE.step) : t option =
+  match s.SE.kind with
+  | SE.Pause -> None
+  | SE.Read -> Some { loc = s.SE.loc; rw = R }
+  | SE.Write -> Some { loc = s.SE.loc; rw = W_val s.SE.value }
+  | SE.Cas _ -> Some { loc = s.SE.loc; rw = W }
+
+(* Same stored value, physically, looking one level deep: two separately
+   allocated [Node prev] blocks with the same [prev] field are the same
+   store.  Restricted to ordinary scannable blocks so [Obj.field] is never
+   applied to flat float arrays / strings / customs. *)
+let same_value va vb =
+  va == vb
+  || Obj.is_block va && Obj.is_block vb
+     && Obj.tag va = Obj.tag vb
+     && Obj.tag va < Obj.no_scan_tag
+     && Obj.tag va <> Obj.double_array_tag
+     && Obj.size va = Obj.size vb
+     &&
+     let n = Obj.size va in
+     let rec fields_eq i =
+       i >= n || (Obj.field va i == Obj.field vb i && fields_eq (i + 1))
+     in
+     fields_eq 0
+
+let dependent a b =
+  a.loc = b.loc
+  &&
+  match (a.rw, b.rw) with
+  | R, R -> false
+  | W_val va, W_val vb -> not (same_value va vb)
+  | (R | W | W_val _), (R | W | W_val _) -> true
+
+let to_string t =
+  let rw =
+    match t.rw with R -> "r" | W -> "w" | W_val _ -> "w="
+  in
+  Printf.sprintf "%s@%d" rw t.loc

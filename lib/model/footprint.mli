@@ -1,0 +1,44 @@
+(** Dependency footprints for simulator steps: which cell a shared-memory
+    action touches and whether it behaves as a read or a write.  This is
+    the commutation theory the DPOR engine ({!Dpor}) reduces with.
+
+    Two steps are {e independent} (swapping two adjacent occurrences cannot
+    change any process's observations or the final state) unless they touch
+    the same cell and at least one of them writes.  Three refinements make
+    the relation precise enough to collapse the schedule space of the
+    paper's structures:
+
+    - a {e failed} C&S wrote nothing, so it is a read (known only after
+      execution, from the [Cas_ok]/[Cas_fail] notes the simulator records);
+    - a {e pending} C&S may still succeed, so before execution it must be
+      treated as a write;
+    - two blind stores of the {e same} value commute (the final state is
+      identical and neither observes the other) — this is the backlink
+      pattern, where racing helpers [set] the victim's backlink to the same
+      predecessor. *)
+
+type rw =
+  | R  (** read, or failed C&S *)
+  | W  (** write whose stored value is unknown or unique: successful or
+           pending C&S *)
+  | W_val of Obj.t  (** blind store of this value (physical identity) *)
+
+type t = { loc : int; rw : rw }
+
+val of_access : Lf_dsim.Sim.access -> t option
+(** Footprint of an {e executed} access; [None] for [Pause] (touches
+    nothing).  Uses the recorded C&S outcome: failed C&S is a read. *)
+
+val of_pending : Lf_dsim.Sim_effect.step -> t option
+(** Footprint of a {e pending} step; [None] for [Pause].  A pending C&S is
+    conservatively a write. *)
+
+val dependent : t -> t -> bool
+(** Symmetric: same cell and at least one write, except that two blind
+    stores of the same value commute.  Value equality is physical one level
+    deep: identical representations, or ordinary blocks of the same tag and
+    size whose fields are physically equal (so two separately allocated
+    [Node prev] constructors with the same [prev] count as the same
+    store). *)
+
+val to_string : t -> string

@@ -1,0 +1,20 @@
+(* Fixture: atomic operations in model-checked structure code must be
+   Mem.S accesses, or DPOR certification silently loses scheduling
+   points.  The Stdlib-qualified spellings are the ones no-raw-atomic
+   misses (their path root is Stdlib, not Atomic). *)
+
+let cell = Stdlib.Atomic.make 0 (* EXPECT: no-bare-atomic *)
+let peek () = Stdlib.Atomic.get cell (* EXPECT: no-bare-atomic *)
+
+let swing expect v =
+  Stdlib.Atomic.compare_and_set cell expect v (* EXPECT: no-bare-atomic *)
+
+let stamp () = Stdlib.Atomic.fetch_and_add cell 1 (* EXPECT: no-bare-atomic *)
+
+(* A same-named operation on another module is not an atomic op. *)
+module Notatomic = struct
+  let get x = x
+  let compare_and_set _ _ _ = true
+end
+
+let fine () = Notatomic.get (Notatomic.compare_and_set 0 0 0)

@@ -1,7 +1,9 @@
-(* Fixture: shared cells must go through the Mem.S seam, not raw Atomic. *)
+(* Fixture: shared cells must go through the Mem.S seam, not raw Atomic.
+   Operation call sites also trip no-bare-atomic (all rules are active in
+   fixture mode). *)
 
-let counter = Atomic.make 0 (* EXPECT: no-raw-atomic *)
-let bump () = Atomic.incr counter (* EXPECT: no-raw-atomic *)
+let counter = Atomic.make 0 (* EXPECT: no-raw-atomic no-bare-atomic *)
+let bump () = Atomic.incr counter (* EXPECT: no-raw-atomic no-bare-atomic *)
 
 type cell = { slot : int Atomic.t } (* EXPECT: no-raw-atomic *)
 

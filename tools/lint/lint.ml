@@ -39,7 +39,8 @@ let lint_tree paths =
         (List.length files);
       1
 
-(* [(* EXPECT: rule *)] markers, one per offending line. *)
+(* [(* EXPECT: rule... *)] markers, one per offending line; a line that
+   trips several rules lists them space-separated in one marker. *)
 let expected_of_file path =
   let ic = open_in path in
   let out = ref [] in
@@ -61,16 +62,29 @@ let expected_of_file path =
            match find 0 with
            | None -> ()
            | Some start ->
-               let stop = ref start in
-               while
-                 !stop < String.length line
-                 && (match line.[!stop] with
-                    | 'a' .. 'z' | '-' -> true
-                    | _ -> false)
-               do
-                 incr stop
-               done;
-               out := (!line_no, String.sub line start (!stop - start)) :: !out)
+               let pos = ref start in
+               let continue = ref true in
+               while !continue do
+                 let stop = ref !pos in
+                 while
+                   !stop < String.length line
+                   && (match line.[!stop] with
+                      | 'a' .. 'z' | '-' -> true
+                      | _ -> false)
+                 do
+                   incr stop
+                 done;
+                 if !stop > !pos then begin
+                   out :=
+                     (!line_no, String.sub line !pos (!stop - !pos)) :: !out;
+                   if
+                     !stop < String.length line
+                     && line.[!stop] = ' '
+                   then pos := !stop + 1
+                   else continue := false
+                 end
+                 else continue := false
+               done)
      done
    with End_of_file -> close_in ic);
   List.rev !out

@@ -41,6 +41,18 @@
      memory seam and the span hooks in the harnesses.  Scoped to the
      structure libraries; kernel, harnesses, bench and bin measure freely.
 
+   - [no-bare-atomic]: a sharper, model-checker-motivated companion to
+     [no-raw-atomic], scoped to the structure libraries that the DPOR
+     checker (lib/model) certifies plus the kernel that implements their
+     seam.  The checker only gains a scheduling point at [Mem.S] accesses:
+     a bare [Atomic.get]/[Atomic.compare_and_set]/... call site executes
+     atomically between two visible steps, so DPOR's "exhausted" verdict
+     silently stops covering interleavings through it.  Unlike
+     [no-raw-atomic] this rule also catches the [Stdlib.Atomic.get]
+     spelling (whose path root is [Stdlib], not [Atomic]), and it fires
+     inside [lib/kernel/] — the seam implementations themselves are the
+     waivered exceptions, not the whole directory.
+
    - [no-unbounded-retry]: a retry loop in the service layer ([lib/svc/])
      that never consults a [Retry.Budget] can amplify a failure storm
      without bound — exactly the cascade the layer exists to prevent.
@@ -61,6 +73,7 @@ let rule_poly_compare = "no-poly-compare"
 let rule_fault_hooks = "no-fault-hooks"
 let rule_timing = "no-timing-in-structures"
 let rule_unbounded_retry = "no-unbounded-retry"
+let rule_bare_atomic = "no-bare-atomic"
 let rule_parse_error = "parse-error"
 
 (* Directories where shared cells are allowed to be raw atomics: the kernel
@@ -83,6 +96,14 @@ let poly_scope_prefixes =
    libraries.  Harness trees, the kernel and lib/obs itself measure. *)
 let timing_scope_prefixes = poly_scope_prefixes
 
+(* Code the DPOR model checker certifies (lib/model scenarios cover these
+   structures), plus the kernel that implements their memory seam: every
+   atomic operation must be a [Mem.S] access or the checker's scheduling
+   points under-approximate.  The seam implementations themselves are
+   individually waivered below. *)
+let bare_atomic_scope_prefixes =
+  [ "lib/core/"; "lib/skiplist/"; "lib/hashtable/"; "lib/pqueue/"; "lib/kernel/" ]
+
 (* The service layer: every retry loop must consult a [Retry.Budget], so
    an unbudgeted retry path cannot sneak in (the "budgets off" ablation
    uses [Budget.unlimited] — same code path, different answer). *)
@@ -103,6 +124,25 @@ let waivers =
       rule_raw_atomic,
       "timestamp counter for priority ties; never CASed as part of the \
        node protocol" );
+    ( "lib/kernel/atomic_mem.ml",
+      rule_bare_atomic,
+      "the production implementation of the Mem.S seam itself; its bare \
+       atomics ARE the seam's accesses" );
+    ( "lib/kernel/counting_mem.ml",
+      rule_bare_atomic,
+      "a Mem.S implementation (the counting seam) plus its observer-side \
+       registry; both sit below the seam by construction" );
+    ( "lib/kernel/hint.ml",
+      rule_bare_atomic,
+      "the hint registry is observer-side accounting shared across \
+       domains; hint payloads structures read are plain per-domain refs, \
+       never raced, so no scheduling point is lost" );
+    ( "lib/pqueue/pqueue.ml",
+      rule_bare_atomic,
+      "timestamp counter for priority ties: a fetch-and-add whose value \
+       only breaks ordering ties, never part of the node protocol; the \
+       model-checked scenarios pin max_level=1 so the counter is the only \
+       access DPOR does not schedule" );
     ( "lib/workload/runner.ml",
       rule_raw_atomic,
       "start barrier for benchmark domains; harness synchronization" );
@@ -150,6 +190,8 @@ let rule_active ~all path rule =
        has_prefix path timing_scope_prefixes
      else if String.equal rule rule_unbounded_retry then
        has_prefix path retry_scope_prefixes
+     else if String.equal rule rule_bare_atomic then
+       has_prefix path bare_atomic_scope_prefixes
      else true
 
 open Parsetree
@@ -174,6 +216,28 @@ let is_literalish (e : expression) =
 let atomic_msg =
   "raw Atomic outside lib/kernel; route shared cells through Lf_kernel.Mem.S \
    so checked memories observe the access"
+
+(* The operation call sites [no-bare-atomic] watches for.  Qualified
+   through [Atomic] or [Stdlib.Atomic] — the latter has root [Stdlib], so
+   [no-raw-atomic]'s root test never sees it. *)
+let atomic_op_names =
+  [
+    "make"; "make_contended"; "get"; "set"; "exchange"; "compare_and_set";
+    "compare_exchange"; "fetch_and_add"; "incr"; "decr";
+  ]
+
+let lid_is_bare_atomic_op = function
+  | Longident.Ldot (Longident.Lident "Atomic", op)
+  | Longident.Ldot (Longident.Ldot (Longident.Lident "Stdlib", "Atomic"), op)
+    ->
+      List.mem op atomic_op_names
+  | _ -> false
+
+let bare_atomic_msg =
+  "bare atomic operation in model-checked structure code; the DPOR checker \
+   only schedules at Mem.S accesses, so interleavings through this step are \
+   invisible to certification — take the memory as a functor argument and \
+   go through it"
 
 (* [Domain.DLS] anywhere on the path spine: [Domain.DLS.get], a bare
    [Domain.DLS], ['a Domain.DLS.key], ... *)
@@ -308,6 +372,8 @@ let check_file ~all path =
   let check_ident lid (loc : Location.t) args =
     if String.equal (root_of_lid lid) "Atomic" then
       report loc rule_raw_atomic atomic_msg;
+    if lid_is_bare_atomic_op lid then
+      report loc rule_bare_atomic bare_atomic_msg;
     if lid_is_dls lid then report loc rule_raw_dls dls_msg;
     if String.equal (root_of_lid lid) "Lf_fault" || lid_is_unix_sleep lid then
       report loc rule_fault_hooks fault_msg;
