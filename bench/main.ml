@@ -37,6 +37,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("exp19", "observability overhead + contention", fun () -> ignore (Exp19.run ()));
     ("exp20", "overload robustness: svc pipeline", fun () -> ignore (Exp20.run ()));
     ("exp21", "DPOR vs CHESS schedule counts", fun () -> ignore (Exp21.run ()));
+    ("exp22", "allocation pragmatics: descriptor reuse + GC tail", fun () ->
+      ignore (Exp22.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 

@@ -70,7 +70,13 @@ module Make (M : Mem.S) = struct
 
   let store t v =
     let s = slot t in
-    s.value <- Some v;
+    (* Re-box only when the value actually changed: every operation
+       publishes its end predecessor, and on quiet stretches (or tight
+       same-region traffic) that is the same node over and over — boxing a
+       fresh [Some] each time put a per-op allocation on the hot path. *)
+    (match s.value with
+    | Some old when old == v -> ()
+    | _ -> s.value <- Some v);
     s.stats.stores <- s.stats.stores + 1;
     M.event ev_store
 

@@ -12,6 +12,7 @@ type summary = {
   p90 : float;
   p99 : float;
   p999 : float;
+  p9999 : float;
 }
 
 let percentile sorted p =
@@ -27,7 +28,7 @@ let summarize (xs : float array) =
   let n = Array.length xs in
   if n = 0 then
     { count = 0; mean = nan; stddev = nan; min = nan; max = nan; p50 = nan;
-      p90 = nan; p99 = nan; p999 = nan }
+      p90 = nan; p99 = nan; p999 = nan; p9999 = nan }
   else begin
     let sorted = Array.copy xs in
     Array.sort compare sorted;
@@ -47,6 +48,7 @@ let summarize (xs : float array) =
       p90 = percentile sorted 0.9;
       p99 = percentile sorted 0.99;
       p999 = percentile sorted 0.999;
+      p9999 = percentile sorted 0.9999;
     }
   end
 
@@ -61,7 +63,7 @@ let of_weighted (pairs : (float * int) array) =
   let n = Array.fold_left (fun a (_, c) -> a + c) 0 pairs in
   if n = 0 then
     { count = 0; mean = nan; stddev = nan; min = nan; max = nan; p50 = nan;
-      p90 = nan; p99 = nan; p999 = nan }
+      p90 = nan; p99 = nan; p999 = nan; p9999 = nan }
   else begin
     let sorted = Array.copy pairs in
     Array.sort (fun (a, _) (b, _) -> Float.compare a b) sorted;
@@ -95,14 +97,15 @@ let of_weighted (pairs : (float * int) array) =
       p90 = pct 0.9;
       p99 = pct 0.99;
       p999 = pct 0.999;
+      p9999 = pct 0.9999;
     }
   end
 
 let pp_summary fmt s =
   Format.fprintf fmt
     "n=%d mean=%.2f sd=%.2f min=%.2f p50=%.2f p90=%.2f p99=%.2f p999=%.2f \
-     max=%.2f"
-    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.p999 s.max
+     p9999=%.2f max=%.2f"
+    s.count s.mean s.stddev s.min s.p50 s.p90 s.p99 s.p999 s.p9999 s.max
 
 (* Least-squares fit of y = a + b*x; returns (a, b, r2). *)
 let linear_fit (points : (float * float) array) =

@@ -13,6 +13,7 @@ type summary = {
   p90 : float;
   p99 : float;
   p999 : float;
+  p9999 : float;
 }
 
 val percentile : float array -> float -> float

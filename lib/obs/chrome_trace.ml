@@ -67,7 +67,7 @@ module IPSet = Set.Make (struct
   let compare = compare
 end)
 
-let to_buffer ?(time_div = 1) buf (events : Obs_event.t list) =
+let to_buffer ?(time_div = 1) ?gc buf (events : Obs_event.t list) =
   let events = Array.of_list events in
   let keep = matched_edges events in
   let ts_of (e : Obs_event.t) = e.ts / max 1 time_div in
@@ -100,6 +100,16 @@ let to_buffer ?(time_div = 1) buf (events : Obs_event.t list) =
            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":%d,\"args\":{\"name\":\"lane-%d\"}}"
            d l l))
     !lanes;
+  (* GC attribution as a counter track (ph "C"): collections and words for
+     the window the trace covers, rendered by Perfetto as a counter lane. *)
+  (match gc with
+  | None -> ()
+  | Some (g : Gc_attr.snap) ->
+      row
+        (Printf.sprintf
+           "{\"name\":\"gc\",\"cat\":\"gc\",\"ph\":\"C\",\"ts\":0,\"pid\":0,\"tid\":0,\"args\":{\"minor_collections\":%d,\"major_collections\":%d,\"minor_words\":%.0f,\"promoted_words\":%.0f}}"
+           g.Gc_attr.minor_collections g.Gc_attr.major_collections
+           g.Gc_attr.minor_words g.Gc_attr.promoted_words));
   Array.iteri
     (fun i (e : Obs_event.t) ->
       if keep.(i) then
@@ -130,9 +140,9 @@ let to_buffer ?(time_div = 1) buf (events : Obs_event.t list) =
     events;
   Buffer.add_string buf "\n],\"displayTimeUnit\":\"ms\"}\n"
 
-let to_string ?time_div events =
+let to_string ?time_div ?gc events =
   let buf = Buffer.create 4096 in
-  to_buffer ?time_div buf events;
+  to_buffer ?time_div ?gc buf events;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
@@ -181,6 +191,13 @@ let check (s : string) : (unit, string) result =
                   | "M" ->
                       if name = Some "process_name" then
                         Hashtbl.replace named_pids (int_of_float pid) ()
+                  (* "C" (counter) rows carry name/ts like instants but no
+                     stack discipline and no naming requirement. *)
+                  | "C" -> (
+                      match (name, num "ts") with
+                      | None, _ -> fail i "missing name"
+                      | _, None -> fail i "missing ts"
+                      | Some _, Some _ -> ())
                   | "B" | "E" | "i" -> (
                       match (name, num "ts") with
                       | None, _ -> fail i "missing name"

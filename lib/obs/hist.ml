@@ -1,21 +1,32 @@
 (* Log-bucketed (HDR-style) histogram of non-negative integer samples
    (latencies in ns, or simulator steps).
 
-   Values below 2^sub_bits land in exact unit buckets; above that, each
-   power-of-two octave is split into 2^sub_bits sub-buckets, so the
-   relative quantization error is bounded by 2^-sub_bits (6.25% with
-   sub_bits = 4) at every magnitude — the HdrHistogram layout.  Recording
-   is a couple of shifts plus an increment on a preallocated int array: no
-   allocation, no synchronization (one histogram per domain-local recorder
-   state); [merge_into] adds bucket-wise, which is what makes per-domain
+   Two-regime layout.  Values below 2^sub_bits land in exact unit buckets;
+   above that, each power-of-two octave is split into 2^sub_bits
+   sub-buckets, so the relative quantization error is bounded by
+   2^-sub_bits (6.25% with sub_bits = 4) at every magnitude — the
+   HdrHistogram layout.  From the 2^fine_msb octave upward (~1 ms in ns),
+   octaves instead get 2^fine_bits sub-buckets (0.78% with fine_bits = 7):
+   the extreme tail is exactly where GC pauses land, and at 6.25%
+   granularity distinct multi-millisecond quantiles (p999 vs p9999, or
+   p999 across op types) collapse into one representative value — EXP-19's
+   byte-identical p999 columns.  Recording is a couple of shifts plus an
+   increment on a preallocated int array: no allocation, no
+   synchronization (one histogram per domain-local recorder state);
+   [merge_into] adds bucket-wise, which is what makes per-domain
    histograms combinable into a run-wide one at collection time. *)
 
 let sub_bits = 4
 let sub = 1 lsl sub_bits (* 16 sub-buckets per octave *)
+let fine_bits = 7
+let fine_sub = 1 lsl fine_bits (* 128 sub-buckets per high octave *)
+let fine_msb = 20 (* values >= 2^20 (~1 ms in ns) use fine octaves *)
 
-(* Enough buckets for any 62-bit value: unit buckets + one batch of [sub]
-   per octave above the first. *)
-let bucket_count = sub + ((63 - sub_bits) * sub)
+(* Coarse region: one batch of [sub] per octave with msb in
+   [sub_bits, fine_msb).  Fine region: one batch of [fine_sub] per octave
+   with msb in [fine_msb, 63), enough for any 62-bit value. *)
+let fine_base = sub + ((fine_msb - sub_bits) * sub)
+let bucket_count = fine_base + ((63 - fine_msb) * fine_sub)
 
 let msb v =
   let rec go v i = if v <= 1 then i else go (v lsr 1) (i + 1) in
@@ -26,23 +37,34 @@ let index_of v =
   if v < sub then v
   else
     let m = msb v in
-    let shift = m - sub_bits in
-    (shift * sub) + ((v lsr shift) land (sub - 1)) + sub
+    if m < fine_msb then
+      let shift = m - sub_bits in
+      (shift * sub) + ((v lsr shift) land (sub - 1)) + sub
+    else
+      let shift = m - fine_bits in
+      fine_base
+      + ((m - fine_msb) * fine_sub)
+      + ((v lsr shift) land (fine_sub - 1))
 
 (* Lowest value mapping to bucket [i] (inverse of [index_of]). *)
 let bucket_low i =
   if i < sub then i
-  else
-    let shift = ((i - sub) / sub) + 1 in
+  else if i < fine_base then
+    let shift = (i - sub) / sub in
     let off = (i - sub) mod sub in
-    (sub + off) lsl (shift - 1)
+    (sub + off) lsl shift
+  else
+    let m = fine_msb + ((i - fine_base) / fine_sub) in
+    let off = (i - fine_base) mod fine_sub in
+    (fine_sub + off) lsl (m - fine_bits)
 
 (* One past the highest value mapping to bucket [i]. *)
 let bucket_high i =
   if i < sub then i + 1
+  else if i < fine_base then bucket_low i + (1 lsl ((i - sub) / sub))
   else
-    let shift = ((i - sub) / sub) + 1 in
-    bucket_low i + (1 lsl (shift - 1))
+    let m = fine_msb + ((i - fine_base) / fine_sub) in
+    bucket_low i + (1 lsl (m - fine_bits))
 
 (* Midpoint used as the bucket's representative value in summaries. *)
 let bucket_mid i = (bucket_low i + bucket_high i - 1 + 1) / 2
@@ -127,10 +149,12 @@ let weighted t =
   Array.of_list !out
 
 let summary t = Lf_kernel.Stats.of_weighted (weighted t)
+let p9999 t = percentile t 0.9999
 
 let pp fmt t =
   if t.total = 0 then Format.pp_print_string fmt "empty"
   else
-    Format.fprintf fmt "n=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f p999=%.0f max=%d"
+    Format.fprintf fmt
+      "n=%d mean=%.0f p50=%.0f p90=%.0f p99=%.0f p999=%.0f p9999=%.0f max=%d"
       t.total (mean t) (percentile t 0.5) (percentile t 0.9)
-      (percentile t 0.99) (percentile t 0.999) t.max_v
+      (percentile t 0.99) (percentile t 0.999) (p9999 t) t.max_v

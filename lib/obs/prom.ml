@@ -55,7 +55,7 @@ let int_sample buf name labels v = sample buf name labels (string_of_int v)
 let float_sample buf name labels v =
   sample buf name labels (Printf.sprintf "%.6g" v)
 
-let quantiles = [ 0.5; 0.9; 0.99; 0.999 ]
+let quantiles = [ 0.5; 0.9; 0.99; 0.999; 0.9999 ]
 
 let snapshot () =
   let buf = Buffer.create 2048 in
@@ -121,6 +121,20 @@ let snapshot () =
   header buf "lf_trace_dropped_total"
     "Trace events lost to ring-buffer overwrites" "counter";
   int_sample buf "lf_trace_dropped_total" [] (Recorder.dropped ());
+  (* GC attribution: process-lifetime runtime counters, independent of the
+     recorder level, so a scrape can always correlate a latency spike with
+     collection activity (EXP-22). *)
+  let gc = Gc_attr.totals () in
+  header buf "lf_gc_minor_collections_total" "Minor GC collections" "counter";
+  int_sample buf "lf_gc_minor_collections_total" [] gc.Gc_attr.minor_collections;
+  header buf "lf_gc_major_collections_total" "Major GC collections" "counter";
+  int_sample buf "lf_gc_major_collections_total" [] gc.Gc_attr.major_collections;
+  header buf "lf_gc_minor_words_total" "Words allocated on the minor heap"
+    "counter";
+  float_sample buf "lf_gc_minor_words_total" [] gc.Gc_attr.minor_words;
+  header buf "lf_gc_promoted_words_total"
+    "Words promoted from the minor to the major heap" "counter";
+  float_sample buf "lf_gc_promoted_words_total" [] gc.Gc_attr.promoted_words;
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)

@@ -42,6 +42,15 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     tower_root : 'a link; (* Null for roots and sentinels (self / none) *)
     succ : 'a succ M.aref;
     backlink : 'a link M.aref;
+    (* Descriptor-interning caches, exactly as in Fr_list (DESIGN.md §12):
+       the last marked / flagged / unlinking descriptor built for this
+       node.  Racy plain fields — a stale read fails validation and
+       allocates fresh.  Each level runs the Section 3 protocol
+       independently, and each node lives at exactly one level, so the
+       per-node caches need no level qualification. *)
+    mutable mk_cache : 'a succ;
+    mutable fl_cache : 'a succ;
+    mutable un_cache : 'a succ;
   }
 
   and 'a succ = { right : 'a link; mark : bool; flag : bool }
@@ -60,6 +69,7 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     tail : 'a node; (* shared +inf sentinel *)
     help_superfluous : bool;
     use_backoff : bool;
+    reuse_descriptors : bool; (* [false] = allocating EXP-22 ablation *)
     hints : 'a hint_path H.t option; (* [None] = hints-off ablation *)
   }
 
@@ -102,7 +112,9 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
   let rng = Lf_kernel.Splitmix.domain_local 0x5ee
 
   let create_with ?(max_level = 24) ?(help_superfluous = true)
-      ?(use_hints = true) ?(use_backoff = false) () =
+      ?(use_hints = true) ?(use_backoff = false) ?(reuse_descriptors = true)
+      () =
+    let tail_succ = { right = Null; mark = false; flag = false } in
     let tail =
       {
         key = Pos_inf;
@@ -110,13 +122,17 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
         level = 0;
         down = Null;
         tower_root = Null;
-        succ = M.make { right = Null; mark = false; flag = false };
+        succ = M.make tail_succ;
         backlink = M.make Null;
+        mk_cache = tail_succ;
+        fl_cache = tail_succ;
+        un_cache = tail_succ;
       }
     in
     let heads = Array.make max_level tail in
     annotate_node ~sentinel:true ~level:0 tail;
     for l = 1 to max_level do
+      let head_succ = { right = Node tail; mark = false; flag = false } in
       heads.(l - 1) <-
         {
           key = Neg_inf;
@@ -124,13 +140,17 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
           level = l;
           down = (if l = 1 then Null else Node heads.(l - 2));
           tower_root = Null;
-          succ = M.make { right = Node tail; mark = false; flag = false };
+          succ = M.make head_succ;
           backlink = M.make Null;
+          mk_cache = head_succ;
+          fl_cache = head_succ;
+          un_cache = head_succ;
         };
       annotate_node ~head:true ~sentinel:true ~level:l heads.(l - 1)
     done;
     let hints = if use_hints then Some (H.create ()) else None in
-    { max_level; heads; tail; help_superfluous; use_backoff; hints }
+    { max_level; heads; tail; help_superfluous; use_backoff;
+      reuse_descriptors; hints }
 
   let create () = create_with ()
   let head_at t l = t.heads.(l - 1)
@@ -141,6 +161,12 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
 
   let same_node l n = match l with Node m -> m == n | Null -> false
 
+  let same_link a b =
+    match (a, b) with
+    | Null, Null -> true
+    | Node x, Node y -> x == y
+    | _ -> false
+
   (* A node is superfluous when the root of its tower is marked.  Roots and
      sentinels answer false here: a marked root is handled by the ordinary
      marked-node logic. *)
@@ -149,16 +175,53 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
     | Null -> false
     | Node r -> (M.get r.succ).mark
 
+  (* Descriptor interning, as in Fr_list (see there and DESIGN.md §12 for
+     the safety argument): C&S expects always come from [M.get], so reuse
+     only changes the physical identity of the new value, and the
+     [same_link] keying keeps descriptors for distinct rights distinct. *)
+
+  let marked_desc t del (s : _ succ) =
+    if not t.reuse_descriptors then { s with mark = true }
+    else
+      let c = del.mk_cache in
+      if c.mark && (not c.flag) && same_link c.right s.right then c
+      else begin
+        let d = { right = s.right; mark = true; flag = false } in
+        del.mk_cache <- d;
+        d
+      end
+
+  let flagged_desc t prev (ps : _ succ) =
+    if not t.reuse_descriptors then { ps with flag = true }
+    else
+      let c = prev.fl_cache in
+      if c.flag && (not c.mark) && same_link c.right ps.right then c
+      else begin
+        let d = { right = ps.right; mark = false; flag = true } in
+        prev.fl_cache <- d;
+        d
+      end
+
+  let clean_desc t del next =
+    if not t.reuse_descriptors then { right = next; mark = false; flag = false }
+    else
+      let c = del.un_cache in
+      if (not c.mark) && (not c.flag) && same_link c.right next then c
+      else begin
+        let d = { right = next; mark = false; flag = false } in
+        del.un_cache <- d;
+        d
+      end
+
   (* --- The per-level linked-list machinery (Section 3 reused). --- *)
 
   let help_marked t prev del =
-    ignore t;
     let next = (M.get del.succ).right in
     let expect = M.get prev.succ in
     if same_node expect.right del && (not expect.mark) && expect.flag then
       ignore
         (M.cas prev.succ ~kind:Ev.Physical_delete ~expect
-           { right = next; mark = false; flag = false })
+           (clean_desc t del next))
 
   let rec help_flagged t prev del =
     M.set del.backlink (Node prev);
@@ -175,7 +238,8 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
       help_flagged t del (as_node s.right);
       try_mark_n t del fails
     end
-    else if M.cas del.succ ~kind:Ev.Marking ~expect:s { s with mark = true }
+    else if
+      M.cas del.succ ~kind:Ev.Marking ~expect:s (marked_desc t del s)
     then ()
     else begin
       if t.use_backoff then M.pause fails;
@@ -244,7 +308,8 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
         (Some prev, false)
       else if
         same_node ps.right target && (not ps.mark) && (not ps.flag)
-        && M.cas prev.succ ~kind:Ev.Flagging ~expect:ps { ps with flag = true }
+        && M.cas prev.succ ~kind:Ev.Flagging ~expect:ps
+             (flagged_desc t prev ps)
       then (Some prev, true)
       else begin
         let ps' = M.get prev.succ in
@@ -418,6 +483,11 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
      inserted node or [`Duplicate] when a node with the same key is found at
      this level. *)
   let insert_node t ~key ~elt ~down ~tower_root ~level prev next =
+    (* Candidate reuse across failed C&S attempts, as in Fr_list: the
+       private node survives while the re-searched successor is unchanged;
+       retargeting its succ cell would cost an [M.set] step, so a changed
+       successor builds afresh (step-neutral reuse). *)
+    let candidate = ref None in
     let rec attempt fails prev next =
       let ps = M.get prev.succ in
       if ps.flag then begin
@@ -427,22 +497,34 @@ module Make (K : Lf_kernel.Ordered.S) (M : Lf_kernel.Mem.S) = struct
       end
       else if ps.mark || not (same_node ps.right next) then recover fails prev
       else begin
-        let nn =
-          {
-            key;
-            elt;
-            level;
-            down;
-            tower_root;
-            succ = M.make { right = Node next; mark = false; flag = false };
-            backlink = M.make Null;
-          }
+        let nn, desc =
+          match !candidate with
+          | Some (nn, inner, desc)
+            when t.reuse_descriptors && same_node inner.right next ->
+              (nn, desc)
+          | _ ->
+              let inner = { right = Node next; mark = false; flag = false } in
+              let nn =
+                {
+                  key;
+                  elt;
+                  level;
+                  down;
+                  tower_root;
+                  succ = M.make inner;
+                  backlink = M.make Null;
+                  mk_cache = inner;
+                  fl_cache = inner;
+                  un_cache = inner;
+                }
+              in
+              annotate_node ~level nn;
+              let desc = { right = Node nn; mark = false; flag = false } in
+              candidate := Some (nn, inner, desc);
+              (nn, desc)
         in
-        annotate_node ~level nn;
-        if
-          M.cas prev.succ ~kind:Ev.Insertion ~expect:ps
-            { right = Node nn; mark = false; flag = false }
-        then (prev, `Inserted nn)
+        if M.cas prev.succ ~kind:Ev.Insertion ~expect:ps desc then
+          (prev, `Inserted nn)
         else begin
           if t.use_backoff then M.pause fails;
           recover (fails + 1) prev

@@ -15,4 +15,14 @@ val read_mostly : mix
 
 val pp_mix : Format.formatter -> mix -> unit
 
+type kind = Insert_k | Delete_k | Find_k
+(** Payload-free op kind (constant constructors — drawing one allocates
+    nothing).  Hot loops draw the key themselves and dispatch on the kind;
+    drawing the key first and then [draw_kind] consumes the RNG stream
+    exactly as {!draw} does. *)
+
+val draw_kind : mix -> Lf_kernel.Splitmix.t -> kind
+
 val draw : mix -> Keygen.t -> Lf_kernel.Splitmix.t -> op
+(** [draw mix kg rng] = key from [kg], then the kind — equivalent to the
+    split path, boxed into an {!op}. *)

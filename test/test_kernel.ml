@@ -87,6 +87,7 @@ let test_p999_tail () =
   (* 1000 samples 0..999: p999 interpolates just above the 998th. *)
   let s = Stats.summarize (Array.init 1000 float_of_int) in
   Alcotest.(check (float 1e-6)) "p999" 998.001 s.p999;
+  Alcotest.(check (float 1e-6)) "p9999" 998.9001 s.p9999;
   Alcotest.(check (float 1e-9)) "p50" 499.5 s.p50
 
 let test_of_weighted () =
@@ -99,6 +100,7 @@ let test_of_weighted () =
   Alcotest.(check (float 1e-9)) "max" 10.0 s.max;
   Alcotest.(check (float 1e-9)) "p50 steps" 1.0 s.p50;
   Alcotest.(check (float 1e-9)) "p999 tail" 10.0 s.p999;
+  Alcotest.(check (float 1e-9)) "p9999 tail" 10.0 s.p9999;
   (* Zero-count pairs contribute nothing; all-zero input = empty. *)
   let empty = Stats.of_weighted [| (3.0, 0) |] in
   Alcotest.(check int) "empty count" 0 empty.count

@@ -50,7 +50,12 @@ let test_ring_bad_capacity () =
 let test_hist_buckets () =
   (* Every value lands in the bucket [index_of] names, and indices are
      monotone in the value. *)
-  let vals = [ 0; 1; 15; 16; 17; 100; 1023; 1024; 1_000_000 ] in
+  let vals =
+    [ 0; 1; 15; 16; 17; 100; 1023; 1024; 1_000_000;
+      (* around the coarse/fine regime boundary (the ~1 ms octave) *)
+      (1 lsl 20) - 1; 1 lsl 20; (1 lsl 20) + 1; 3_999_700; 4_000_000;
+      123_456_789 ]
+  in
   List.iter
     (fun v ->
       let i = Hist.index_of v in
@@ -82,6 +87,23 @@ let test_hist_percentiles () =
     Alcotest.failf "p50 %f too far from 499.5" p50;
   (* The tail quantile reports the exact maximum, not a midpoint. *)
   Alcotest.(check (float 1e-9)) "p100 is max" 999.0 (Hist.percentile h 1.0)
+
+let test_hist_tail_resolution () =
+  (* The fine regime keeps multi-millisecond values distinguishable: values
+     1% apart above ~1 ms land in distinct buckets (quantization error is
+     0.78% there), so p999 and p9999 cannot collapse to one representative
+     the way 6.25%-wide buckets made them in EXP-19. *)
+  let a = 3_200_000 and b = 3_232_000 in
+  if Hist.index_of a = Hist.index_of b then
+    Alcotest.failf "values %d and %d share a bucket" a b;
+  let h = Hist.create () in
+  for _ = 1 to 9_998 do
+    Hist.add h 10_000
+  done;
+  Hist.add h a;
+  Hist.add h b;
+  let p999 = Hist.percentile h 0.999 and p9999 = Hist.p9999 h in
+  Alcotest.(check bool) "tail quantiles distinct" true (p999 < p9999)
 
 let test_hist_empty_raises () =
   let h = Hist.create () in
@@ -360,6 +382,65 @@ let test_prometheus_grammar () =
       Alcotest.(check bool) "mentions ops metric" true
         (contains s "lf_ops_total{op=\"insert\"} 1"))
 
+(* --- GC attribution (EXP-22) --- *)
+
+let test_gc_attr_monotone () =
+  let a = Lf_obs.Gc_attr.totals () in
+  let junk = Array.init 4096 (fun i -> Some i) in
+  ignore (Sys.opaque_identity junk);
+  let b = Lf_obs.Gc_attr.totals () in
+  let d = Lf_obs.Gc_attr.diff ~before:a b in
+  Alcotest.(check bool)
+    "minor words grew by at least the array" true
+    (d.Lf_obs.Gc_attr.minor_words >= 4096.);
+  Alcotest.(check bool)
+    "counters monotone" true
+    (d.Lf_obs.Gc_attr.minor_collections >= 0
+    && d.Lf_obs.Gc_attr.major_collections >= 0
+    && d.Lf_obs.Gc_attr.promoted_words >= 0.)
+
+let test_gc_attr_window () =
+  Lf_obs.Gc_attr.reset_window ();
+  (* Boxed elements: each [Some i] is a small minor-heap block (the array
+     itself, >256 words, goes straight to the major heap and would be
+     invisible to [minor_words]). *)
+  let junk = Array.init 4096 (fun i -> Some i) in
+  ignore (Sys.opaque_identity junk);
+  let w1 = Lf_obs.Gc_attr.window () in
+  let w2 = Lf_obs.Gc_attr.window () in
+  Alcotest.(check bool)
+    "first window sees the allocation" true
+    (w1.Lf_obs.Gc_attr.minor_words >= 4096.);
+  Alcotest.(check bool)
+    "second window starts fresh" true
+    (w2.Lf_obs.Gc_attr.minor_words >= 0.
+    && w2.Lf_obs.Gc_attr.minor_words < 4096.)
+
+let test_prometheus_gc_counters () =
+  with_recorder ~level:Recorder.Counters ~clock:Recorder.Real (fun () ->
+      let s = Lf_obs.Prom.snapshot () in
+      (match Lf_obs.Prom.validate s with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "snapshot rejected: %s" e);
+      List.iter
+        (fun metric ->
+          Alcotest.(check bool) metric true (contains s ("\n" ^ metric ^ " ")))
+        [
+          "lf_gc_minor_collections_total";
+          "lf_gc_major_collections_total";
+          "lf_gc_minor_words_total";
+          "lf_gc_promoted_words_total";
+        ])
+
+let test_chrome_trace_gc_counter () =
+  let json =
+    Lf_obs.Chrome_trace.to_string ~gc:(Lf_obs.Gc_attr.totals ()) []
+  in
+  (match Lf_obs.Chrome_trace.check json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "trace with gc row rejected: %s" e);
+  Alcotest.(check bool) "has gc counter row" true (contains json "\"cat\":\"gc\"")
+
 let test_prometheus_validator_rejects () =
   List.iter
     (fun bad ->
@@ -386,6 +467,7 @@ let () =
         [
           Alcotest.test_case "buckets" `Quick test_hist_buckets;
           Alcotest.test_case "percentiles" `Quick test_hist_percentiles;
+          Alcotest.test_case "tail resolution" `Quick test_hist_tail_resolution;
           Alcotest.test_case "empty raises" `Quick test_hist_empty_raises;
           Alcotest.test_case "merge" `Quick test_hist_merge;
         ] );
@@ -415,5 +497,14 @@ let () =
             test_prometheus_grammar;
           Alcotest.test_case "prometheus validator rejects" `Quick
             test_prometheus_validator_rejects;
+        ] );
+      ( "gc attribution",
+        [
+          Alcotest.test_case "totals monotone" `Quick test_gc_attr_monotone;
+          Alcotest.test_case "window deltas" `Quick test_gc_attr_window;
+          Alcotest.test_case "prometheus gc counters" `Quick
+            test_prometheus_gc_counters;
+          Alcotest.test_case "chrome gc counter row" `Quick
+            test_chrome_trace_gc_counter;
         ] );
     ]

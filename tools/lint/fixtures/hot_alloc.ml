@@ -1,0 +1,80 @@
+(* Fixture for [no-hot-alloc]: C&S retry loops in structure code must not
+   build records or arrays per attempt.  A loop is a retry loop when it is
+   a [while], or a recursive binding, whose body performs a C&S (an
+   identifier ending in [cas] / [compare_and_set] / [compare_exchange]).
+   Constructions outside such loops — including the interning caches'
+   refill helpers — are fine. *)
+
+type 'a succ = { right : 'a; mark : bool; flag : bool }
+type 'a cell = { mutable v : 'a succ; mutable cache : 'a succ }
+
+(* Stand-in for the Mem.S seam operation the rule keys on. *)
+let cas (c : 'a cell) ~expect next =
+  if c.v == expect then begin
+    c.v <- next;
+    true
+  end
+  else false
+
+(* A fresh descriptor on every attempt: the minor-heap churn EXP-22
+   blamed for the GC tail. *)
+let rec mark_allocating c =
+  let s = c.v in
+  if s.mark then false
+  else if
+    cas c ~expect:s { right = s.right; mark = true; flag = false } (* EXPECT: no-hot-alloc *)
+  then true
+  else mark_allocating c
+
+(* Functional update allocates too. *)
+let rec flag_with_update c =
+  let s = c.v in
+  if s.flag then false
+  else if cas c ~expect:s { s with flag = true } (* EXPECT: no-hot-alloc *)
+  then true
+  else flag_with_update c
+
+(* [while] loops around a C&S are retry loops by the same token. *)
+let mark_spinning c =
+  let done_ = ref false in
+  while not !done_ do (* EXPECT: no-unbounded-retry *)
+    let s = c.v in
+    let next = [| { s with mark = true } |] in (* EXPECT: no-hot-alloc *)
+    if s.mark || cas c ~expect:s next.(0) then done_ := true
+  done
+
+(* Interned variant: the retry loop only validates and C&Ses; the record
+   is built by the refill helper, an ordinary non-recursive function.  No
+   markers from here on. *)
+let refill_cache c s =
+  let d = { right = s.right; mark = true; flag = false } in
+  c.cache <- d;
+  d
+
+let rec mark_interned c =
+  let s = c.v in
+  if s.mark then false
+  else
+    let d = c.cache in
+    let d = if d.right == s.right && d.mark then d else refill_cache c s in
+    if cas c ~expect:s d then true else mark_interned c
+
+(* Loops without a C&S are not retry loops: building per iteration is the
+   normal shape of initialization code. *)
+let build_levels n seed =
+  let levels = ref [] in
+  for _ = 1 to n do
+    levels := { right = seed; mark = false; flag = false } :: !levels
+  done;
+  !levels
+
+let rec build_chain n seed =
+  if n = 0 then [] else { right = seed; mark = false; flag = false } :: build_chain (n - 1) seed
+
+let _ =
+  ( mark_allocating,
+    flag_with_update,
+    mark_spinning,
+    mark_interned,
+    build_levels,
+    build_chain )
