@@ -39,6 +39,8 @@ let experiments : (string * string * (unit -> unit)) list =
     ("exp21", "DPOR vs CHESS schedule counts", fun () -> ignore (Exp21.run ()));
     ("exp22", "allocation pragmatics: descriptor reuse + GC tail", fun () ->
       ignore (Exp22.run ()));
+    ("exp23", "sharded service: containment + scaling", fun () ->
+      ignore (Exp23.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 

@@ -764,8 +764,20 @@ let breaker_flag =
           "Circuit breaker: trip on a windowed failure/latency spike, \
            serve reads only while open, probe and recover.")
 
+let shards_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "shards" ] ~docv:"N"
+        ~doc:
+          "Shard the keyspace over $(docv) dictionary instances behind a \
+           consistent-hash router, each shard wrapped in its own \
+           pipeline, so one faulted shard degrades only its own \
+           keyspace.  HEALTH reports per-shard status; KILL <i> makes \
+           shard $(i,i)'s backend fail (containment demo).  1 = the \
+           plain single-instance server.")
+
 let serve_cmd =
-  let run impl port deadline_ms retry budget shed breaker =
+  let run impl port deadline_ms retry budget shed breaker shards =
     Lf_obs.Recorder.set_level Lf_obs.Recorder.Off;
     Lf_obs.Recorder.reset ();
     Lf_obs.Recorder.set_clock Lf_obs.Recorder.Real;
@@ -773,7 +785,6 @@ let serve_cmd =
     let (module D : Lf_workload.Runner.INT_DICT) =
       resolve impl false ~hints:true
     in
-    let ops = svc_ops (module D) in
     let clock = Lf_svc.Clock.real () in
     let ms = Lf_svc.Clock.ms clock in
     let cfg =
@@ -800,7 +811,88 @@ let serve_cmd =
         ~backoff:(fun d -> Unix.sleepf (float_of_int d /. 1e9))
         ()
     in
-    let svc = Lf_svc.Svc.create cfg ops in
+    (* Two server shapes behind one dispatch: the single-instance
+       pipeline (unchanged), or --shards N instances behind the
+       consistent-hash router, each with its own pipeline built from
+       the same flags.  KILL flips a per-shard switch that makes that
+       backend raise — the containment demo for the CI smoke: the
+       victim's breaker trips and HEALTH turns "s<i>=degraded" while
+       the other shards keep answering.  The accept loop is
+       sequential, so plain bool switches suffice. *)
+    let op_h, multi_h, health_h, metrics_h, kill_h =
+      if shards <= 1 then
+        let svc = Lf_svc.Svc.create cfg (svc_ops (module D)) in
+        ( (fun req -> Lf_svc.Wire.format_outcome (Lf_svc.Svc.call svc req)),
+          (fun reqs ->
+            Lf_svc.Wire.format_multi (Lf_svc.Svc.call_many svc reqs)),
+          (fun () -> Lf_svc.Wire.health_line (Lf_svc.Svc.stats svc)),
+          (fun () -> Lf_obs.Prom.snapshot ()),
+          fun _ -> Lf_svc.Wire.format_error "no shards (serve with --shards)" )
+      else begin
+        let kills = Array.make shards false in
+        let mk_backend i : Lf_shard.Router.backend =
+          let t = D.create () in
+          let guard f = if kills.(i) then failwith "shard killed" else f () in
+          let span op key ok f =
+            Lf_obs.Recorder.span_begin ~op ~key;
+            let r = f () in
+            Lf_obs.Recorder.span_end ~op ~ok:(ok r);
+            r
+          in
+          {
+            Lf_shard.Router.insert =
+              (fun k v ->
+                guard (fun () ->
+                    span Lf_obs.Obs_event.Insert k Fun.id (fun () ->
+                        D.insert t k v)));
+            delete =
+              (fun k ->
+                guard (fun () ->
+                    span Lf_obs.Obs_event.Delete k Fun.id (fun () ->
+                        D.delete t k)));
+            find =
+              (fun k ->
+                guard (fun () ->
+                    span Lf_obs.Obs_event.Find k Option.is_some (fun () ->
+                        D.find t k)));
+            batched = None;
+          }
+        in
+        let ring = Lf_shard.Hash_ring.create ~seed:1 ~shards () in
+        let router =
+          Lf_shard.Router.create ~ring ~svc_config:(fun _ -> cfg) mk_backend
+        in
+        ( (fun req -> Lf_svc.Wire.format_outcome (Lf_shard.Router.call router req)),
+          (fun reqs ->
+            Lf_svc.Wire.format_multi (Lf_shard.Router.call_many router reqs)),
+          (fun () -> Lf_shard.Health.line router),
+          (fun () ->
+            let shard_of k = string_of_int (Lf_shard.Router.route router k) in
+            Lf_obs.Prom.snapshot ()
+            ^ Lf_obs.Prom.render_metrics
+                (Lf_shard.Health.metrics router
+                @ [
+                    {
+                      Lf_obs.Prom.m_name = "lf_shard_cas_failures_total";
+                      m_help =
+                        "Keyed C&S failures attributed to the owning shard";
+                      m_type = "counter";
+                      m_samples =
+                        List.map
+                          (fun (g, n) ->
+                            ([ ("shard", g) ], float_of_int n))
+                          (Lf_obs.Profile.by_group ~group:shard_of
+                             (Lf_obs.Recorder.profile ()));
+                    };
+                  ])),
+          fun s ->
+            if s < 0 || s >= shards then Lf_svc.Wire.format_error "bad shard"
+            else begin
+              kills.(s) <- true;
+              "OK true"
+            end )
+      end
+    in
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt sock Unix.SO_REUSEADDR true;
     Unix.bind sock (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
@@ -822,15 +914,19 @@ let serve_cmd =
                    output_string oc (Lf_svc.Wire.format_error e);
                    output_char oc '\n'
                | Ok (Lf_svc.Wire.Op req) ->
-                   output_string oc
-                     (Lf_svc.Wire.format_outcome (Lf_svc.Svc.call svc req));
+                   output_string oc (op_h req);
+                   output_char oc '\n'
+               | Ok (Lf_svc.Wire.Multi reqs) ->
+                   output_string oc (multi_h reqs);
+                   output_char oc '\n'
+               | Ok (Lf_svc.Wire.Kill s) ->
+                   output_string oc (kill_h s);
                    output_char oc '\n'
                | Ok Lf_svc.Wire.Health ->
-                   output_string oc
-                     (Lf_svc.Wire.health_line (Lf_svc.Svc.stats svc));
+                   output_string oc (health_h ());
                    output_char oc '\n'
                | Ok Lf_svc.Wire.Metrics ->
-                   output_string oc (Lf_obs.Prom.snapshot ());
+                   output_string oc (metrics_h ());
                    output_string oc "END\n"
                | Ok Lf_svc.Wire.Quit -> quit := true
                | Ok Lf_svc.Wire.Shutdown ->
@@ -848,11 +944,13 @@ let serve_cmd =
        ~doc:
          "Serve an implementation over a line-protocol TCP socket, behind \
           the lib/svc robustness pipeline (deadlines, retry budgets, load \
-          shedding, circuit breaking).  Protocol: PUT k v / DEL k / GET k / \
-          HEALTH / METRICS / QUIT / SHUTDOWN, one per line.")
+          shedding, circuit breaking), optionally sharded behind a \
+          consistent-hash router (--shards).  Protocol: PUT k v / DEL k / \
+          GET k / MGET k.. / MSET k v.. / KILL i / HEALTH / METRICS / \
+          QUIT / SHUTDOWN, one per line.")
     Term.(
       const run $ impl_arg $ port_arg $ deadline_ms_arg $ retry_arg
-      $ retry_budget_arg $ shed_arg $ breaker_flag)
+      $ retry_budget_arg $ shed_arg $ breaker_flag $ shards_arg)
 
 let call_cmd =
   let lines_arg =

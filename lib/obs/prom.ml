@@ -138,6 +138,33 @@ let snapshot () =
   Buffer.contents buf
 
 (* ------------------------------------------------------------------ *)
+(* Custom metric blocks: other layers (the shard router's per-shard
+   counters, say) describe metrics as data and render them through the
+   same emitters as [snapshot], so one validator covers everything a
+   scrape can see. *)
+
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_type : string;
+  m_samples : ((string * string) list * float) list;
+}
+
+let render_metrics metrics =
+  let buf = Buffer.create 512 in
+  List.iter
+    (fun m ->
+      header buf m.m_name m.m_help m.m_type;
+      List.iter
+        (fun (labels, v) ->
+          if Float.is_integer v && Float.abs v < 1e15 then
+            sample buf m.m_name labels (Printf.sprintf "%.0f" v)
+          else float_sample buf m.m_name labels v)
+        m.m_samples)
+    metrics;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
 (* Grammar validator *)
 
 let is_name_start c =

@@ -6,6 +6,21 @@ val snapshot : unit -> string
 (** Render the recorder's current merged state.  Deterministic: fixed
     metric order, constructed label order. *)
 
+type metric = {
+  m_name : string;
+  m_help : string;
+  m_type : string;  (** "counter", "gauge" or "summary" *)
+  m_samples : ((string * string) list * float) list;
+      (** (labels, value) rows; label values are escaped on render *)
+}
+
+val render_metrics : metric list -> string
+(** Render extra [# HELP]/[# TYPE] blocks in the same exposition format
+    as {!snapshot}, so the concatenation of both passes {!validate}.
+    Integral values render without an exponent.  Other layers (e.g. the
+    shard router's per-shard counters) describe metrics as data and
+    reuse this renderer rather than hand-rolling the format. *)
+
 val validate : string -> (unit, string) result
 (** Check exposition-format grammar: every line is blank, a
     [# HELP]/[# TYPE] comment, or [name{labels} value] with a legal

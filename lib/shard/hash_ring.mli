@@ -1,0 +1,42 @@
+(** Seeded consistent-hash ring over a fixed set of shard slots.
+
+    The ring is a pure value: [slot_of] is a function of
+    [(key, slots, seed)] only — the router-determinism property the
+    tests pin down.  Each slot owns [vnodes] points on the ring, so
+    slot keyspaces interleave finely instead of forming [slots]
+    contiguous arcs.
+
+    Ownership is indirected through an {e assignment} (slot -> shard):
+    routing a key is [assignment.(slot_of key)].  A rebalance handoff
+    never rehashes anything — it moves one slot's whole keyspace to
+    another shard by {!reassign}, which is what makes the migrated set
+    exactly enumerable (the conservation oracle). *)
+
+type t
+
+val create : ?vnodes:int -> seed:int -> shards:int -> unit -> t
+(** A ring of [shards] slots, initially with slot [i] assigned to shard
+    [i].  [vnodes] (default 64) points per slot.
+    @raise Invalid_argument if [shards < 1] or [vnodes < 1]. *)
+
+val shards : t -> int
+(** Number of shards ( = number of slots). *)
+
+val seed : t -> int
+
+val slot_of : t -> int -> int
+(** The slot owning a key: pure in [(key, shards, seed)], independent
+    of the assignment. *)
+
+val shard_of : t -> int -> int
+(** [assignment.(slot_of key)] — where the key's operations go. *)
+
+val owner : t -> int -> int
+(** Current shard assigned to a slot. *)
+
+val assignment : t -> int array
+(** A copy of the slot -> shard assignment. *)
+
+val reassign : t -> slot:int -> to_:int -> t
+(** A new ring with one slot handed to another shard; the argument ring
+    is unchanged.  @raise Invalid_argument on out-of-range indices. *)

@@ -1,0 +1,109 @@
+module Svc = Lf_svc.Svc
+
+type shard_health = {
+  h_id : int;
+  h_ok : bool;
+  h_breaker : string;
+  h_mode : string;
+  h_calls : int;
+  h_served : int;
+  h_failed : int;
+  h_rejected : int;
+  h_hedged : int;
+}
+
+let of_router r =
+  let stats = Router.stats r and hedged = Router.hedged r in
+  Array.to_list
+    (Array.mapi
+       (fun i (s : Svc.stats) ->
+         let ok = match s.breaker with None | Some "closed" -> true | Some _ -> false in
+         {
+           h_id = i;
+           h_ok = ok;
+           h_breaker = Option.value s.breaker ~default:"none";
+           h_mode = s.mode;
+           h_calls = s.calls;
+           h_served = s.served;
+           h_failed = s.failed;
+           h_rejected = List.fold_left (fun a (_, n) -> a + n) 0 s.rejected;
+           h_hedged = hedged.(i);
+         })
+       stats)
+
+let line r =
+  let hs = of_router r in
+  let overall = if List.for_all (fun h -> h.h_ok) hs then "ok" else "degraded" in
+  let shard h =
+    Printf.sprintf "s%d=%s(%s) calls=%d served=%d failed=%d rejected=%d hedged=%d"
+      h.h_id
+      (if h.h_ok then "ok" else "degraded")
+      h.h_breaker h.h_calls h.h_served h.h_failed h.h_rejected h.h_hedged
+  in
+  Printf.sprintf "%s shards=%d migrated=%d %s" overall (List.length hs)
+    (Router.migrated_keys r)
+    (String.concat " " (List.map shard hs))
+
+let metrics r =
+  let hs = of_router r in
+  let label h = [ ("shard", string_of_int h.h_id) ] in
+  let per f = List.map (fun h -> (label h, float_of_int (f h))) hs in
+  let open Lf_obs.Prom in
+  [
+    {
+      m_name = "lf_shard_calls_total";
+      m_help = "Requests routed to each shard's pipeline";
+      m_type = "counter";
+      m_samples = per (fun h -> h.h_calls);
+    };
+    {
+      m_name = "lf_shard_served_total";
+      m_help = "Requests served per shard, degraded modes included";
+      m_type = "counter";
+      m_samples = per (fun h -> h.h_served);
+    };
+    {
+      m_name = "lf_shard_failed_total";
+      m_help = "Requests that executed and gave up, per shard";
+      m_type = "counter";
+      m_samples = per (fun h -> h.h_failed);
+    };
+    {
+      m_name = "lf_shard_rejected_total";
+      m_help = "Requests rejected by each shard's admission pipeline, by reason";
+      m_type = "counter";
+      m_samples =
+        List.concat_map
+          (fun (i, (s : Svc.stats)) ->
+            List.map
+              (fun (reason, n) ->
+                ( [ ("shard", string_of_int i); ("reason", reason) ],
+                  float_of_int n ))
+              s.rejected)
+          (List.mapi (fun i s -> (i, s)) (Array.to_list (Router.stats r)));
+    };
+    {
+      m_name = "lf_shard_hedged_reads_total";
+      m_help = "Reads failed over directly to the shard backend";
+      m_type = "counter";
+      m_samples = per (fun h -> h.h_hedged);
+    };
+    {
+      m_name = "lf_shard_degraded";
+      m_help = "1 while the shard's breaker is not closed";
+      m_type = "gauge";
+      m_samples = per (fun h -> if h.h_ok then 0 else 1);
+    };
+    {
+      m_name = "lf_shard_migrated_keys_total";
+      m_help = "Keys moved by rebalance handoffs";
+      m_type = "counter";
+      m_samples = [ ([], float_of_int (Router.migrated_keys r)) ];
+    };
+    {
+      m_name = "lf_shard_rebalances_total";
+      m_help = "Completed rebalance handoffs";
+      m_type = "counter";
+      m_samples = [ ([], float_of_int (Router.rebalances r)) ];
+    };
+  ]

@@ -1,0 +1,30 @@
+(** Per-shard health accounting: one status per shard derived from its
+    pipeline's stats, a one-line rendering for the wire protocol's
+    HEALTH verb, and Prometheus metric blocks with a [shard] label. *)
+
+type shard_health = {
+  h_id : int;
+  h_ok : bool;  (** breaker absent or closed *)
+  h_breaker : string;  (** "none" when the shard has no breaker *)
+  h_mode : string;
+  h_calls : int;
+  h_served : int;
+  h_failed : int;
+  h_rejected : int;
+  h_hedged : int;
+}
+
+val of_router : Router.t -> shard_health list
+(** One entry per shard, in shard order. *)
+
+val line : Router.t -> string
+(** One line: overall status ([ok] iff every shard is ok), shard count,
+    keys migrated, then [s<i>=ok(closed)] / [s<i>=degraded(open)] and
+    aggregate counters per shard — stable order, greppable. *)
+
+val metrics : Router.t -> Lf_obs.Prom.metric list
+(** [lf_shard_*] counter/gauge blocks labelled [shard="<i>"]: calls,
+    served, failed, rejected (by reason), hedged reads, a degraded 0/1
+    gauge, and the router's migrated-key and rebalance totals.
+    Renders through {!Lf_obs.Prom.render_metrics}; the concatenation
+    with {!Lf_obs.Prom.snapshot} passes {!Lf_obs.Prom.validate}. *)

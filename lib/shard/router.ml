@@ -1,0 +1,279 @@
+(* The shard router.  Synchronization model: one mutex guards routing
+   state (ring, migration watermark, per-key inflight counts) and the
+   small counters; dictionary operations themselves run OUTSIDE the
+   mutex, through each shard's own Svc pipeline, so the router adds two
+   short critical sections per call (route-and-mark, unmark), never a
+   lock around the work.
+
+   Per-key linearizability across a handoff hangs on one invariant:
+   at every instant each key has exactly one owner (assignment, or the
+   watermark split while a migration runs), and a key is only copied
+   while (a) the router mutex is held — no operation can acquire an
+   owner for it — and (b) its in-flight count is zero — no operation
+   that already acquired an owner is still running.  So the copy is
+   atomic with respect to that key's operations, and the ownership flip
+   happens inside the same critical section that performed the copy. *)
+
+module Svc = Lf_svc.Svc
+
+type backend = {
+  insert : int -> int -> bool;
+  delete : int -> bool;
+  find : int -> int option;
+  batched : Svc.batched_ops option;
+}
+
+type shard = {
+  id : int;
+  svc : Svc.t;
+  backend : backend;
+  mutable hedged : int;  (* guarded by the router mutex *)
+}
+
+type migration = {
+  m_slot : int;
+  m_from : int;
+  m_to : int;
+  mutable m_watermark : int;
+      (* keys below this (in the slot) already live on [m_to] *)
+}
+
+(* The router's decision journal: rebalance begin/end lines for
+   post-mortems, process-wide by design (one timeline even when a test
+   builds several routers).  It carries no routing state — routing is
+   a pure function of ring + migration — and is the one deliberate
+   exception to the no-cross-shard-state lint (see its waiver). *)
+let journal_log : string list ref = ref []
+
+let journal_limit = 64
+
+let note fmt =
+  Printf.ksprintf
+    (fun line ->
+      let keep = journal_limit - 1 in
+      let rec take n = function
+        | x :: rest when n > 0 -> x :: take (n - 1) rest
+        | _ -> []
+      in
+      journal_log := line :: take keep !journal_log)
+    fmt
+
+let journal () = List.rev !journal_log
+
+type t = {
+  mutable ring : Hash_ring.t;
+  shards : shard array;
+  hedge_reads : bool;
+  mu : Mutex.t;
+  drained : Condition.t;  (* signalled when a key's inflight count drains *)
+  inflight : (int, int) Hashtbl.t;
+  mutable migration : migration option;
+  mutable migrated : int;
+  mutable rebalanced : int;
+}
+
+let ops_of_backend (b : backend) : Svc.ops =
+  {
+    Svc.insert = b.insert;
+    delete = b.delete;
+    find = (fun k -> b.find k <> None);
+  }
+
+let create ?(hedge_reads = true) ~ring ~svc_config mk_backend =
+  let shards =
+    Array.init (Hash_ring.shards ring) (fun i ->
+        let backend = mk_backend i in
+        let svc =
+          Svc.create ?batched:backend.batched (svc_config i)
+            (ops_of_backend backend)
+        in
+        { id = i; svc; backend; hedged = 0 })
+  in
+  {
+    ring;
+    shards;
+    hedge_reads;
+    mu = Mutex.create ();
+    drained = Condition.create ();
+    inflight = Hashtbl.create 64;
+    migration = None;
+    migrated = 0;
+    rebalanced = 0;
+  }
+
+let ring t = t.ring
+let shard_count t = Array.length t.shards
+
+let owner_locked t k =
+  let slot = Hash_ring.slot_of t.ring k in
+  match t.migration with
+  | Some m when m.m_slot = slot -> if k < m.m_watermark then m.m_to else m.m_from
+  | _ -> Hash_ring.owner t.ring slot
+
+let route t k =
+  Mutex.lock t.mu;
+  let s = owner_locked t k in
+  Mutex.unlock t.mu;
+  s
+
+(* Acquire an owner for [k] and mark it in flight, atomically w.r.t.
+   any migration. *)
+let begin_op t k =
+  Mutex.lock t.mu;
+  let s = owner_locked t k in
+  Hashtbl.replace t.inflight k
+    (1 + Option.value (Hashtbl.find_opt t.inflight k) ~default:0);
+  Mutex.unlock t.mu;
+  s
+
+let end_op t k =
+  Mutex.lock t.mu;
+  (match Hashtbl.find_opt t.inflight k with
+  | Some 1 -> Hashtbl.remove t.inflight k
+  | Some n -> Hashtbl.replace t.inflight k (n - 1)
+  | None -> ());
+  if t.migration <> None then Condition.broadcast t.drained;
+  Mutex.unlock t.mu
+
+let key_of = function Svc.Insert (k, _) -> k | Svc.Delete k -> k | Svc.Find k -> k
+let is_read = function Svc.Find _ -> true | Svc.Insert _ | Svc.Delete _ -> false
+
+(* Rejections worth failing over: the shard refused service (tripped
+   breaker, full queue, infeasible deadline estimate), not the request
+   itself.  An [Expired] request is dead wherever it runs. *)
+let hedgeable = function
+  | Svc.Breaker_open | Svc.Queue_full | Svc.Doomed -> true
+  | Svc.Expired | Svc.Write_degraded -> false
+
+(* Failover read straight at the backend, outside the pipeline: safe
+   because searches in the underlying structures are non-blocking and
+   write nothing a helper could not have written.  Best effort — if the
+   backend itself throws, the original outcome stands. *)
+let hedge t sh k original =
+  Mutex.lock t.mu;
+  sh.hedged <- sh.hedged + 1;
+  Mutex.unlock t.mu;
+  match sh.backend.find k with
+  | Some _ -> Svc.Served true
+  | None -> Svc.Served false
+  | exception _ -> original
+
+let maybe_hedge t sh req outcome =
+  if not (t.hedge_reads && is_read req) then outcome
+  else
+    match outcome with
+    | Svc.Rejected r when hedgeable r -> hedge t sh (key_of req) outcome
+    | Svc.Failed _ -> hedge t sh (key_of req) outcome
+    | o -> o
+
+let call t ?deadline ?queue_depth req =
+  let k = key_of req in
+  let s = begin_op t k in
+  Fun.protect ~finally:(fun () -> end_op t k) @@ fun () ->
+  let sh = t.shards.(s) in
+  maybe_hedge t sh req (Svc.call sh.svc ?deadline ?queue_depth req)
+
+let call_many t ?deadline ?queue_depth reqs =
+  match reqs with
+  | [] -> []
+  | _ ->
+      let reqs = Array.of_list reqs in
+      let n = Array.length reqs in
+      let owners = Array.map (fun r -> begin_op t (key_of r)) reqs in
+      Fun.protect
+        ~finally:(fun () -> Array.iter (fun r -> end_op t (key_of r)) reqs)
+      @@ fun () ->
+      let out = Array.make n (Svc.Rejected Svc.Expired) in
+      Array.iteri
+        (fun s sh ->
+          let idx = ref [] in
+          for i = n - 1 downto 0 do
+            if owners.(i) = s then idx := i :: !idx
+          done;
+          match !idx with
+          | [] -> ()
+          | idx ->
+              let sub = List.map (fun i -> reqs.(i)) idx in
+              let res = Svc.call_many sh.svc ?deadline ?queue_depth sub in
+              List.iter2
+                (fun i o -> out.(i) <- maybe_hedge t sh reqs.(i) o)
+                idx res)
+        t.shards;
+      Array.to_list out
+
+let rebalance t ~slot ~to_ ~key_range =
+  let n = Array.length t.shards in
+  if slot < 0 || slot >= Hash_ring.shards t.ring then
+    invalid_arg "Router.rebalance: bad slot";
+  if to_ < 0 || to_ >= n then invalid_arg "Router.rebalance: bad shard";
+  if key_range < 0 then invalid_arg "Router.rebalance: bad key_range";
+  Mutex.lock t.mu;
+  if t.migration <> None then begin
+    Mutex.unlock t.mu;
+    invalid_arg "Router.rebalance: a rebalance is already running"
+  end;
+  let from = Hash_ring.owner t.ring slot in
+  if from = to_ then begin
+    Mutex.unlock t.mu;
+    0
+  end
+  else begin
+    let m = { m_slot = slot; m_from = from; m_to = to_; m_watermark = min_int } in
+    t.migration <- Some m;
+    note "rebalance slot=%d shard %d -> %d begin" slot from to_;
+    Mutex.unlock t.mu;
+    let src = t.shards.(from).backend and dst = t.shards.(to_).backend in
+    let moved = ref 0 in
+    for k = 0 to key_range - 1 do
+      if Hash_ring.slot_of t.ring k = slot then begin
+        Mutex.lock t.mu;
+        while Hashtbl.mem t.inflight k do
+          Condition.wait t.drained t.mu
+        done;
+        (* Inflight is zero and the mutex is held: no operation on [k]
+           can start or be running, so copy-then-advance is atomic for
+           this key.  Bounded retries absorb transient backend faults;
+           the copy converges because re-running it is idempotent
+           (insert of a present key is a no-op). *)
+        let rec copy attempts =
+          try
+            match src.find k with
+            | None -> ()
+            | Some v ->
+                ignore (dst.insert k v);
+                ignore (src.delete k);
+                incr moved
+          with e ->
+            if attempts >= 3 then begin
+              Mutex.unlock t.mu;
+              raise e
+            end
+            else copy (attempts + 1)
+        in
+        copy 0;
+        m.m_watermark <- k + 1;
+        Mutex.unlock t.mu
+      end
+    done;
+    Mutex.lock t.mu;
+    t.ring <- Hash_ring.reassign t.ring ~slot ~to_;
+    t.migration <- None;
+    t.migrated <- t.migrated + !moved;
+    t.rebalanced <- t.rebalanced + 1;
+    note "rebalance slot=%d shard %d -> %d end moved=%d" slot from to_ !moved;
+    Condition.broadcast t.drained;
+    Mutex.unlock t.mu;
+    !moved
+  end
+
+let stats t = Array.map (fun sh -> Svc.stats sh.svc) t.shards
+let shard_svc t i = t.shards.(i).svc
+
+let hedged t =
+  Mutex.lock t.mu;
+  let a = Array.map (fun sh -> sh.hedged) t.shards in
+  Mutex.unlock t.mu;
+  a
+
+let migrated_keys t = t.migrated
+let rebalances t = t.rebalanced

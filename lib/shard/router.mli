@@ -1,0 +1,104 @@
+(** Consistent-hash shard router: N dictionary shards, each behind its
+    own [lib/svc] breaker/shed/degrade pipeline, so one hot, stalled or
+    faulted shard degrades only its own keyspace.
+
+    - {!call} routes a request by key and runs it through that shard's
+      pipeline; everything else is untouched (blast-radius containment,
+      EXP-23).
+    - Hedged/failover reads: when a {e read} comes back rejected by a
+      tripped shard (breaker open, queue full, doomed) or fails in
+      execution, the router retries it directly against that shard's
+      backend, outside the pipeline.  This is safe precisely because
+      the underlying structures' searches are non-blocking and
+      side-effect-free — the paper's wait-free search is the failover
+      path.  Writes are never hedged.
+    - {!call_many} scatter-gathers a multi-key batch across shards and
+      returns per-key outcomes in input order — a shard that sheds or
+      trips yields per-key rejections, never one collapsed error and
+      never a silently dropped key.
+    - {!rebalance} migrates one slot's keyspace to another shard under
+      load without violating per-key linearizability: a watermark
+      splits routing during the handoff, and each key is copied only
+      while no operation on that key is in flight (per-key inflight
+      accounting under the router mutex).
+
+    The router itself holds no dictionary state: shards arrive as
+    backend closures, so any [DICT] over any [Mem.S] works, and
+    harnesses can stack fault-injecting memories per shard. *)
+
+module Svc := Lf_svc.Svc
+
+type backend = {
+  insert : int -> int -> bool;
+  delete : int -> bool;
+  find : int -> int option;
+  batched : Svc.batched_ops option;
+      (** enables the coalesced path in each shard's pipeline *)
+}
+
+type t
+
+val create :
+  ?hedge_reads:bool ->
+  ring:Hash_ring.t ->
+  svc_config:(int -> Svc.config) ->
+  (int -> backend) ->
+  t
+(** [create ~ring ~svc_config mk_backend] builds one shard per ring
+    slot: shard [i] wraps [mk_backend i] in a pipeline configured by
+    [svc_config i].  [hedge_reads] (default [true]) enables the
+    failover read path. *)
+
+val ring : t -> Hash_ring.t
+val shard_count : t -> int
+
+val route : t -> int -> int
+(** The shard a key's operations go to right now — assignment plus the
+    migration watermark while a rebalance is running. *)
+
+val call : t -> ?deadline:Lf_svc.Deadline.t -> ?queue_depth:int -> Svc.req -> Svc.outcome
+(** Route by key, run through that shard's pipeline, hedging rejected
+    or failed reads when enabled. *)
+
+val call_many :
+  t ->
+  ?deadline:Lf_svc.Deadline.t ->
+  ?queue_depth:int ->
+  Svc.req list ->
+  Svc.outcome list
+(** Scatter-gather: split by owning shard, run each sub-batch through
+    its shard's {!Svc.call_many} (per-element admission, batched
+    execution when available), gather per-key outcomes back into input
+    order.  The result has exactly one outcome per request. *)
+
+val rebalance : t -> slot:int -> to_:int -> key_range:int -> int
+(** [rebalance t ~slot ~to_ ~key_range] hands [slot]'s keyspace to
+    shard [to_], migrating every key in [[0, key_range)] that hashes to
+    the slot.  Keys are copied one at a time under the router mutex,
+    each only once its in-flight count drains, and the watermark routes
+    every key to exactly one owner at every instant — operations racing
+    the handoff stay linearizable per key.  Copies run on the caller's
+    lane through the raw backends (control plane: they bypass the
+    pipelines, so a tripped breaker cannot strand keys).  Returns the
+    number of keys moved.
+    @raise Invalid_argument if a rebalance is already running, or on
+    out-of-range arguments. *)
+
+val stats : t -> Svc.stats array
+(** Per-shard pipeline stats, index = shard id. *)
+
+val shard_svc : t -> int -> Svc.t
+
+val hedged : t -> int array
+(** Per-shard count of reads served (or attempted) via the failover
+    path. *)
+
+val migrated_keys : t -> int
+(** Total keys moved by completed rebalances. *)
+
+val rebalances : t -> int
+
+val journal : unit -> string list
+(** The router's process-wide decision journal (rebalance begin/end
+    lines), oldest first, bounded.  Deliberately module-level — see the
+    [no-cross-shard-state] lint waiver. *)

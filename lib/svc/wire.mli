@@ -8,6 +8,9 @@
     PUT <key> <value>     insert
     DEL <key>             delete
     GET <key>             find
+    MGET <k1> .. <kn>     multi-key find (scatter-gather per shard)
+    MSET <k1> <v1> ..     multi-key insert, key/value pairs
+    KILL <shard>          chaos: make one shard's backend fail (demo)
     HEALTH                one-line liveness/readiness summary
     METRICS               Prometheus-format snapshot, terminated by END
     QUIT                  close this connection
@@ -15,20 +18,37 @@
     v}
 
     Operation responses are one line: [OK true], [OK false],
-    [REJECTED <reason>], or [FAILED <message>].  Parse errors get
-    [ERR <message>]. *)
+    [REJECTED <reason>], or [FAILED <message>].  A multi-key command
+    answers one line — [MULTI <n> <tok> ... <tok>] with exactly one
+    token per key in request order ([t]/[f] for served, a reject
+    reason, or [failed]); a shard that sheds or trips yields per-key
+    tokens, never one collapsed error.  Parse errors get
+    [ERR <message>].
+
+    Batches are validated at parse time: empty batches, batches above
+    {!max_batch} keys, duplicate keys, and MSET with an odd argument
+    count are all [ERR] — a duplicate key has no well-defined per-key
+    outcome. *)
 
 type command =
   | Op of Svc.req
+  | Multi of Svc.req list  (** MGET/MSET: scatter-gather, per-key outcomes *)
+  | Kill of int  (** chaos verb for the multi-shard demo server *)
   | Health
   | Metrics
   | Quit
   | Shutdown
 
+val max_batch : int
+(** Largest accepted multi-key batch (64). *)
+
 val parse : string -> (command, string) result
 (** Case-insensitive on the verb; trailing [\r] (telnet) is ignored. *)
 
 val format_outcome : Svc.outcome -> string
+
+val format_multi : Svc.outcome list -> string
+(** [MULTI <n> <tok>...] — one token per outcome, input order. *)
 
 val format_error : string -> string
 (** The [ERR ...] line for unparseable input. *)

@@ -11,6 +11,13 @@ type t =
          win just because the hot keys sit next to the head. *)
   | Zipf of { range : int; theta : float }
   | Ascending of int ref (* each draw returns the next integer *)
+  | Choice of int array (* uniform over a fixed key set *)
+  | Cycle of { keys : int array; next : int ref }
+      (* the fixed key set in order, wrapping — an ascending stream
+         confined to chosen keys (e.g. one shard's keyspace) *)
+  | Mixture of { pct : int; a : t; b : t }
+      (* pct% of draws from [a], the rest from [b] — e.g. a shard-targeted
+         hot set blended with uniform background traffic (EXP-23) *)
 
 let uniform range = Uniform range
 let hotspot ?(base = 0) ~range ~hot ~hot_pct () =
@@ -18,6 +25,18 @@ let hotspot ?(base = 0) ~range ~hot ~hot_pct () =
     invalid_arg "Keygen.hotspot: hot window outside the key range";
   Hotspot { range; hot; hot_pct; base }
 let ascending () = Ascending (ref 0)
+
+let of_array keys =
+  if Array.length keys = 0 then invalid_arg "Keygen.of_array: empty key set";
+  Choice (Array.copy keys)
+
+let cycle keys =
+  if Array.length keys = 0 then invalid_arg "Keygen.cycle: empty key set";
+  Cycle { keys = Array.copy keys; next = ref 0 }
+
+let mixture ~pct a b =
+  if pct < 0 || pct > 100 then invalid_arg "Keygen.mixture: pct outside 0..100";
+  Mixture { pct; a; b }
 
 (* Zipf via the standard CDF-inversion approximation (Gray et al.); theta in
    (0, 1), higher = more skewed. *)
@@ -48,8 +67,15 @@ let zipf ~range ~theta =
   ignore (zipf_state ~range ~theta);
   Zipf { range; theta }
 
-let draw t rng =
+let rec draw t rng =
   match t with
+  | Choice a -> a.(Lf_kernel.Splitmix.int rng (Array.length a))
+  | Cycle { keys; next } ->
+      let v = keys.(!next mod Array.length keys) in
+      incr next;
+      v
+  | Mixture { pct; a; b } ->
+      if Lf_kernel.Splitmix.int rng 100 < pct then draw a rng else draw b rng
   | Uniform n -> Lf_kernel.Splitmix.int rng n
   | Hotspot { range; hot; hot_pct; base } ->
       if Lf_kernel.Splitmix.int rng 100 < hot_pct then

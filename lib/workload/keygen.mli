@@ -20,4 +20,20 @@ val zipf : range:int -> theta:float -> t
 val ascending : unit -> t
 (** 0, 1, 2, ... (end-of-list contention workloads). *)
 
+val of_array : int array -> t
+(** Uniform over a fixed key set (copied).  EXP-23 precomputes the keys
+    one shard owns and aims a hotspot at exactly that shard.
+    @raise Invalid_argument if the array is empty. *)
+
+val cycle : int array -> t
+(** The fixed key set (copied) in array order, wrapping — an ascending
+    stream confined to chosen keys.  EXP-23's hotspot walks fresh keys
+    owned by one shard so the victim's keyspace balloons while the
+    others' stay put.  @raise Invalid_argument if the array is empty. *)
+
+val mixture : pct:int -> t -> t -> t
+(** [mixture ~pct a b]: [pct]% of draws from [a], the rest from [b] —
+    e.g. a shard-targeted hot set blended with uniform background
+    traffic.  @raise Invalid_argument if [pct] is outside [0..100]. *)
+
 val draw : t -> Lf_kernel.Splitmix.t -> int

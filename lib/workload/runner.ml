@@ -356,6 +356,14 @@ let run_chaos ?(victims = []) ?(budget_s = 0.05) ?(window_s = 0.2)
 
 type verdict = [ `Served of bool | `Rejected | `Failed ]
 
+type class_counts = {
+  cc_handled : int;
+  cc_served : int;
+  cc_served_ok : int;
+  cc_rejected : int;
+  cc_failed : int;
+}
+
 type open_loop_report = {
   o_offered : int;
   o_handled : int;
@@ -367,6 +375,7 @@ type open_loop_report = {
   o_elapsed_s : float;
   o_goodput : float;
   o_latency : Lf_obs.Hist.t;
+  o_by_class : class_counts array;
 }
 
 let pp_open_loop_report ppf r =
@@ -382,10 +391,14 @@ let pp_open_loop_report ppf r =
      else Lf_obs.Hist.percentile r.o_latency 0.99 /. 1e6)
     (float_of_int (Lf_obs.Hist.max_value r.o_latency) /. 1e6)
 
-let run_open_loop ?(workers = 2) ~rate ~window_s ~key_range
-    ~(mix : Opgen.mix) ~seed ~serve () : open_loop_report =
+let run_open_loop ?(workers = 2) ?keygen ?(classes = 0) ?class_of ~rate
+    ~window_s ~key_range ~(mix : Opgen.mix) ~seed ~serve () :
+    open_loop_report =
   if rate <= 0 then invalid_arg "run_open_loop: rate must be > 0";
   if workers < 1 then invalid_arg "run_open_loop: workers must be >= 1";
+  if classes < 0 then invalid_arg "run_open_loop: classes must be >= 0";
+  if classes > 0 && class_of = None then
+    invalid_arg "run_open_loop: classes without class_of";
   let q : (int * Opgen.op) Queue.t = Queue.create () in
   let mu = Mutex.create () and cv = Condition.create () in
   let stop = Atomic.make false in
@@ -395,6 +408,27 @@ let run_open_loop ?(workers = 2) ~rate ~window_s ~key_range
   and rejected = Array.make workers 0
   and failed = Array.make workers 0 in
   let hists = Array.init workers (fun _ -> Lf_obs.Hist.create ()) in
+  (* Per-class (e.g. per-shard) accounting: a [workers x classes] grid
+     of plain counters — each worker bumps only its own row, merged
+     after the joins, so the accounting stays race-free and the hot
+     loop lock-free. *)
+  let by_class () =
+    Array.init workers (fun _ -> Array.make (max 1 classes) 0)
+  in
+  let c_handled = by_class ()
+  and c_served = by_class ()
+  and c_served_ok = by_class ()
+  and c_rejected = by_class ()
+  and c_failed = by_class () in
+  let classify op =
+    match class_of with
+    | Some f when classes > 0 ->
+        let c = f op in
+        if c < 0 || c >= classes then
+          invalid_arg "run_open_loop: class_of out of range"
+        else c
+    | _ -> -1
+  in
   let now_ns () = int_of_float (Unix.gettimeofday () *. 1e9) in
   let pop () =
     Mutex.lock mu;
@@ -424,20 +458,33 @@ let run_open_loop ?(workers = 2) ~rate ~window_s ~key_range
       | None -> continue := false
       | Some ((arrival_ns, op), depth) -> (
           handled.(did) <- handled.(did) + 1;
+          let c = classify op in
+          let bump a = if c >= 0 then a.(did).(c) <- a.(did).(c) + 1 in
+          bump c_handled;
           match serve ~arrival_ns ~queue_depth:depth op with
           | `Served ok ->
               served.(did) <- served.(did) + 1;
-              if ok then served_ok.(did) <- served_ok.(did) + 1;
+              bump c_served;
+              if ok then begin
+                served_ok.(did) <- served_ok.(did) + 1;
+                bump c_served_ok
+              end;
               Lf_obs.Hist.add hists.(did) (now_ns () - arrival_ns)
-          | `Rejected -> rejected.(did) <- rejected.(did) + 1
-          | `Failed -> failed.(did) <- failed.(did) + 1)
+          | `Rejected ->
+              rejected.(did) <- rejected.(did) + 1;
+              bump c_rejected
+          | `Failed ->
+              failed.(did) <- failed.(did) + 1;
+              bump c_failed)
     done;
     Lf_kernel.Lane.clear ()
   in
   Lf_kernel.Lane.set (-1);
   let ds = List.init workers (fun i -> Domain.spawn (fun () -> work i)) in
   let rng = Lf_kernel.Splitmix.create seed in
-  let keygen = Keygen.uniform key_range in
+  let keygen =
+    match keygen with Some kg -> kg | None -> Keygen.uniform key_range
+  in
   let t0 = now () in
   let t_end = t0 +. window_s in
   let interval = 1. /. float_of_int rate in
@@ -486,6 +533,18 @@ let run_open_loop ?(workers = 2) ~rate ~window_s ~key_range
     o_goodput =
       (if elapsed > 0. then float_of_int (sum served) /. elapsed else 0.);
     o_latency = latency;
+    o_by_class =
+      Array.init classes (fun c ->
+          let col a =
+            Array.fold_left (fun acc row -> acc + row.(c)) 0 a
+          in
+          {
+            cc_handled = col c_handled;
+            cc_served = col c_served;
+            cc_served_ok = col c_served_ok;
+            cc_rejected = col c_rejected;
+            cc_failed = col c_failed;
+          });
   }
 
 exception Lane_crashed

@@ -148,6 +148,18 @@ val run_chaos :
 
 type verdict = [ `Served of bool | `Rejected | `Failed ]
 
+(** Per-class verdict counts (see [run_open_loop]'s [class_of]): the
+    per-shard partial-failure accounting of EXP-23.  Every handled
+    arrival lands in exactly one counter of its class — nothing is
+    collapsed across classes and nothing is dropped. *)
+type class_counts = {
+  cc_handled : int;
+  cc_served : int;
+  cc_served_ok : int;
+  cc_rejected : int;
+  cc_failed : int;
+}
+
 type open_loop_report = {
   o_offered : int;  (** arrivals generated during the window *)
   o_handled : int;  (** arrivals a worker handed to [serve] *)
@@ -161,12 +173,17 @@ type open_loop_report = {
   o_goodput : float;  (** served per second of window *)
   o_latency : Lf_obs.Hist.t;
       (** arrival-to-completion latency of served requests, ns *)
+  o_by_class : class_counts array;
+      (** index = class id; [[||]] unless [classes] was given *)
 }
 
 val pp_open_loop_report : Format.formatter -> open_loop_report -> unit
 
 val run_open_loop :
   ?workers:int ->
+  ?keygen:Keygen.t ->
+  ?classes:int ->
+  ?class_of:(Opgen.op -> int) ->
   rate:int ->
   window_s:float ->
   key_range:int ->
@@ -185,7 +202,15 @@ val run_open_loop :
     remaining queue is reported as [o_leftover].  Latency is measured
     from {e arrival}, so queueing delay is included — the open-loop
     convention.  Worker lanes are numbered [0 .. workers-1]; the
-    generator runs on lane [-1]. *)
+    generator runs on lane [-1].
+
+    [keygen] replaces the default uniform generator (the generator is
+    single-threaded, so one instance suffices).  [classes]/[class_of]
+    turn on per-class accounting: [class_of op] must return a class id
+    in [[0, classes)] — EXP-23 classifies by owning shard — and the
+    report's [o_by_class] then carries one {!class_counts} per class,
+    tallied with plain per-worker counters (race-free, no locks in the
+    hot loop). *)
 
 val run_chaos_recorded :
   insert:(int -> bool) ->

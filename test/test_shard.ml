@@ -1,0 +1,533 @@
+(* The shard layer (lib/shard, DESIGN.md §13): ring determinism and
+   reassignment, routing to exactly the owning shard, scatter-gather
+   partial-failure reporting (per-key outcomes, never a collapsed error
+   or a silent drop), hedged/failover reads off a tripped or killed
+   shard, rebalance conservation (every key owned by exactly one shard,
+   before and after a handoff), chaos through the router with a
+   shard-targeted fault plan, and per-key linearizability across a
+   handoff performed under concurrent load. *)
+
+module Svc = Lf_svc.Svc
+module Clock = Lf_svc.Clock
+module Breaker = Lf_svc.Breaker
+module Degrade = Lf_svc.Degrade
+module Hash_ring = Lf_shard.Hash_ring
+module Router = Lf_shard.Router
+module Health = Lf_shard.Health
+module Fault = Lf_fault.Fault
+module FP = Lf_kernel.Fault_point
+module History = Lf_lin.History
+
+let outcome =
+  Alcotest.testable
+    (fun ppf o -> Format.pp_print_string ppf (Svc.outcome_to_string o))
+    ( = )
+
+(* --- The ring: pure, deterministic, reassignable --------------------- *)
+
+let test_ring_deterministic =
+  Support.qcheck ~count:300 "ring: slot_of pure in (key, shards, seed)"
+    QCheck2.Gen.(triple (1 -- 8) (0 -- 1000) (0 -- 1_000_000))
+    (fun (shards, seed, key) ->
+      let r1 = Hash_ring.create ~seed ~shards () in
+      let r2 = Hash_ring.create ~seed ~shards () in
+      let s = Hash_ring.slot_of r1 key in
+      s = Hash_ring.slot_of r2 key
+      && s >= 0 && s < shards
+      && Hash_ring.shard_of r1 key = Hash_ring.owner r1 s)
+
+let test_ring_reassign =
+  Support.qcheck ~count:200 "ring: reassign moves one slot, nothing else"
+    QCheck2.Gen.(
+      quad (2 -- 6) (0 -- 1000) (0 -- 5) (pair (0 -- 5) (0 -- 100)))
+    (fun (shards, seed, slot0, (to0, key)) ->
+      let slot = slot0 mod shards and to_ = to0 mod shards in
+      let r = Hash_ring.create ~seed ~shards () in
+      let r' = Hash_ring.reassign r ~slot ~to_ in
+      (* The argument ring is unchanged; slot ownership moved; slot_of
+         (hashing) is untouched by assignment. *)
+      Hash_ring.owner r slot = slot
+      && Hash_ring.owner r' slot = to_
+      && Hash_ring.slot_of r' key = Hash_ring.slot_of r key
+      && Array.to_list (Hash_ring.assignment r')
+         |> List.mapi (fun i o -> i = slot || o = i)
+         |> List.for_all Fun.id)
+
+(* --- Table-backed shards for router tests ---------------------------- *)
+
+type tb = {
+  h : (int, int) Hashtbl.t;
+  hits : int ref;
+  killed : bool ref;  (* reads and writes fail *)
+  w_killed : bool ref;  (* writes fail, reads still served *)
+}
+
+let table_backend () =
+  let tb =
+    { h = Hashtbl.create 32; hits = ref 0; killed = ref false;
+      w_killed = ref false }
+  in
+  let guard ~write () =
+    incr tb.hits;
+    if !(tb.killed) || (write && !(tb.w_killed)) then failwith "backend down"
+  in
+  let b =
+    {
+      Router.insert =
+        (fun k v ->
+          guard ~write:true ();
+          if Hashtbl.mem tb.h k then false else (Hashtbl.replace tb.h k v; true));
+      delete =
+        (fun k ->
+          guard ~write:true ();
+          if Hashtbl.mem tb.h k then (Hashtbl.remove tb.h k; true) else false);
+      find = (fun k -> guard ~write:false (); Hashtbl.find_opt tb.h k);
+      batched = None;
+    }
+  in
+  (tb, b)
+
+let plain_router ?hedge_reads ~shards ~seed () =
+  let clock, _ = Clock.manual () in
+  let ring = Hash_ring.create ~seed ~shards () in
+  let tbs = Array.init shards (fun _ -> table_backend ()) in
+  let router =
+    Router.create ?hedge_reads ~ring
+      ~svc_config:(fun _ -> Svc.config ~clock ~retryable:(fun _ -> false) ())
+      (fun i -> snd tbs.(i))
+  in
+  (router, ring, Array.map fst tbs)
+
+let test_routing_hits_owner =
+  Support.qcheck ~count:100 "router: every call lands on the owning shard only"
+    QCheck2.Gen.(pair (0 -- 1000) (list_size (1 -- 40) (0 -- 200)))
+    (fun (seed, keys) ->
+      let router, ring, tbs = plain_router ~shards:3 ~seed () in
+      List.for_all
+        (fun k ->
+          let before = Array.map (fun tb -> !(tb.hits)) tbs in
+          ignore (Router.call router (Svc.Insert (k, k)));
+          let owner = Hash_ring.shard_of ring k in
+          Array.to_list tbs
+          |> List.mapi (fun i tb ->
+                 !(tb.hits) - before.(i) = if i = owner then 1 else 0)
+          |> List.for_all Fun.id)
+        keys)
+
+(* --- Scatter-gather: per-key outcomes, order and count preserved ----- *)
+
+let test_call_many_partial_failure () =
+  let router, ring, tbs = plain_router ~hedge_reads:false ~shards:3 ~seed:42 () in
+  (* Prefill through the router: keys 0..19. *)
+  List.iter
+    (fun k ->
+      Alcotest.check outcome
+        (Printf.sprintf "prefill %d" k)
+        (Svc.Served true)
+        (Router.call router (Svc.Insert (k, k))))
+    (List.init 20 Fun.id);
+  (* Kill shard 1 outright; a batch spanning all shards must come back
+     with one honest outcome per key, in input order. *)
+  tbs.(1).killed := true;
+  let reqs = List.init 20 (fun k -> Svc.Find k) @ [ Svc.Find 999 ] in
+  let out = Router.call_many router reqs in
+  Alcotest.(check int) "one outcome per request" (List.length reqs)
+    (List.length out);
+  List.iteri
+    (fun i o ->
+      let k = match List.nth reqs i with Svc.Find k -> k | _ -> assert false in
+      let expected =
+        if Hash_ring.shard_of ring k = 1 then `Failed
+        else `Served (Hashtbl.mem tbs.(Hash_ring.shard_of ring k).h k)
+      in
+      match (expected, o) with
+      | `Failed, Svc.Failed _ -> ()
+      | `Served b, Svc.Served b' when b = b' -> ()
+      | _ ->
+          Alcotest.failf "key %d: got %s (shard %d, killed=%b)" k
+            (Svc.outcome_to_string o)
+            (Hash_ring.shard_of ring k)
+            (Hash_ring.shard_of ring k = 1))
+    out;
+  (* Nothing silently dropped: every request reached some pipeline. *)
+  let calls =
+    Array.fold_left (fun a (st : Svc.stats) -> a + st.calls) 0
+      (Router.stats router)
+  in
+  Alcotest.(check bool) "all requests admitted somewhere" true
+    (calls >= List.length reqs)
+
+(* --- Hedged/failover reads ------------------------------------------- *)
+
+(* A shard whose writes die trips its breaker; with full fast-fail
+   degrade the pipeline then rejects reads too — and the router serves
+   them anyway, straight off the backend, because the paper's searches
+   are safe to run outside the pipeline. *)
+let hedging_router ~hedge_reads =
+  let clock, _ = Clock.manual () in
+  let ring = Hash_ring.create ~seed:3 ~shards:2 () in
+  let tbs = Array.init 2 (fun _ -> table_backend ()) in
+  let cfg _ =
+    Svc.config ~clock
+      ~retryable:(fun _ -> false)
+      ~breaker:
+        (Some
+           (Breaker.config ~window:1_000_000 ~min_calls:2 ~failure_pct:50
+              ~open_for:1_000_000 ~probes:1 ()))
+      ~degrade:(Degrade.policy ~on_open:Degrade.Normal ~on_half_open:Degrade.Normal ())
+      ()
+  in
+  let router =
+    Router.create ~hedge_reads ~ring ~svc_config:cfg (fun i -> snd tbs.(i))
+  in
+  (router, ring, Array.map fst tbs)
+
+let shard_key ?(from = 0) ring s =
+  let rec go k = if Hash_ring.shard_of ring k = s then k else go (k + 1) in
+  go from
+
+let test_hedged_read_tripped_shard () =
+  let router, ring, tbs = hedging_router ~hedge_reads:true in
+  let k = shard_key ring 0 in
+  Alcotest.check outcome "prefill" (Svc.Served true)
+    (Router.call router (Svc.Insert (k, 7)));
+  tbs.(0).w_killed := true;
+  (* Failed writes trip shard 0's breaker (full fast-fail mode).  The
+     prefill success already counts toward min_calls, so the breaker may
+     open after the very first failure — loop until it rejects. *)
+  let failed_writes = ref 0 in
+  let rec trip budget =
+    if budget = 0 then Alcotest.fail "breaker never opened"
+    else
+      match Router.call router (Svc.Insert (k, 8)) with
+      | Svc.Failed _ ->
+          incr failed_writes;
+          trip (budget - 1)
+      | Svc.Rejected Svc.Breaker_open -> ()
+      | o -> Alcotest.failf "unexpected write outcome %s" (Svc.outcome_to_string o)
+  in
+  trip 10;
+  Alcotest.(check bool) "at least one write failed" true (!failed_writes >= 1);
+  Alcotest.(check (option string)) "breaker open" (Some "open")
+    (Router.stats router).(0).breaker;
+  (* A write stays rejected — only reads fail over. *)
+  (match Router.call router (Svc.Insert (k, 9)) with
+  | Svc.Rejected Svc.Breaker_open -> ()
+  | o -> Alcotest.failf "write not rejected: %s" (Svc.outcome_to_string o));
+  (* The read is rejected by the pipeline, then served by the hedge. *)
+  Alcotest.check outcome "read hedged around the open breaker"
+    (Svc.Served true)
+    (Router.call router (Svc.Find k));
+  Alcotest.check outcome "missing key hedges to an honest false"
+    (Svc.Served false)
+    (Router.call router (Svc.Find (shard_key ~from:1000 ring 0)));
+  Alcotest.(check bool) "hedge counter bumped" true
+    ((Router.hedged router).(0) >= 2);
+  (* Healthy shard untouched throughout. *)
+  Alcotest.(check (option string)) "other shard closed" (Some "closed")
+    (Router.stats router).(1).breaker
+
+let test_hedge_off_and_dead_backend () =
+  (* hedge_reads:false — the rejection is reported as-is. *)
+  let router, ring, tbs = hedging_router ~hedge_reads:false in
+  let k = shard_key ring 0 in
+  tbs.(0).w_killed := true;
+  for _ = 1 to 2 do
+    ignore (Router.call router (Svc.Insert (k, 8)))
+  done;
+  Alcotest.check outcome "no hedge: read rejected"
+    (Svc.Rejected Svc.Breaker_open)
+    (Router.call router (Svc.Find k));
+  (* hedge on, but the backend is dead for reads too: the hedge is best
+     effort and the original Failed outcome stands. *)
+  let router, ring, tbs = hedging_router ~hedge_reads:true in
+  let k = shard_key ring 0 in
+  tbs.(0).killed := true;
+  (match Router.call router (Svc.Find k) with
+  | Svc.Failed _ -> ()
+  | o -> Alcotest.failf "dead backend: expected Failed, got %s"
+           (Svc.outcome_to_string o))
+
+(* --- Rebalance: conservation oracle ---------------------------------- *)
+
+let key_range_c = 64
+
+let test_rebalance_conservation =
+  Support.qcheck ~count:150 "rebalance: every key owned by exactly one shard"
+    QCheck2.Gen.(
+      quad (0 -- 1000) (0 -- 2) (0 -- 2)
+        (list_size (0 -- 80) (pair (int_bound 2) (int_bound (key_range_c - 1)))))
+    (fun (seed, slot, to_, script) ->
+      let router, ring, tbs = plain_router ~shards:3 ~seed () in
+      (* Random mutations through the router. *)
+      List.iter
+        (fun (tag, k) ->
+          ignore
+            (Router.call router
+               (match tag with
+               | 0 -> Svc.Insert (k, k)
+               | 1 -> Svc.Delete k
+               | _ -> Svc.Find k)))
+        script;
+      let present_in_slot =
+        List.length
+          (List.filter
+             (fun k ->
+               Hash_ring.slot_of ring k = slot
+               && Hashtbl.mem tbs.(Hash_ring.owner ring slot).h k)
+             (List.init key_range_c Fun.id))
+      in
+      let moved = Router.rebalance router ~slot ~to_ ~key_range:key_range_c in
+      let expected_moved = if Hash_ring.owner ring slot = to_ then 0 else present_in_slot in
+      (* Conservation: each key present in at most one backend, and that
+         backend is the router's current owner. *)
+      let conserved =
+        List.for_all
+          (fun k ->
+            let where =
+              List.filter (fun i -> Hashtbl.mem tbs.(i).h k) [ 0; 1; 2 ]
+            in
+            match where with
+            | [] -> true
+            | [ i ] -> i = Router.route router k
+            | _ -> false)
+          (List.init key_range_c Fun.id)
+      in
+      moved = expected_moved && conserved
+      && Router.migrated_keys router = moved)
+
+(* --- Chaos: a shard-targeted stall plan through the router ----------- *)
+
+module K = Lf_kernel.Ordered.Int
+
+type faulty = {
+  f_backend : Router.backend;
+  f_install : Fault.plan -> unit;
+  f_uninstall : unit -> unit;
+}
+
+let mk_faulty_list ~prefill () =
+  let module FM = Lf_fault.Fault_mem.Make (Lf_kernel.Atomic_mem) in
+  let module L = Lf_list.Fr_list.Make (K) (FM) in
+  let t = L.create () in
+  List.iter (fun k -> ignore (L.insert t k k)) prefill;
+  {
+    f_backend =
+      {
+        Router.insert = (fun k v -> L.insert t k v);
+        delete = L.delete t;
+        find = L.find t;
+        batched = None;
+      };
+    f_install = FM.install;
+    f_uninstall = (fun () -> FM.uninstall ());
+  }
+
+let test_chaos_shard_targeted_stall () =
+  let clock = Clock.real () in
+  let ms = Clock.ms clock in
+  let shards = 2 and key_range = 128 in
+  let ring = Hash_ring.create ~seed:11 ~shards () in
+  (* Lists start empty: [run_chaos] prefills to 50% through the router
+     itself and counts only successful inserts, so pre-populating here
+     would make that loop spin forever on duplicates. *)
+  let f = Array.init shards (fun _ -> mk_faulty_list ~prefill:[] ()) in
+  let cfg _ =
+    Svc.config ~clock
+      ~breaker:
+        (Some
+           (Breaker.config ~window:(ms 100) ~min_calls:3 ~failure_pct:40
+              ~latency_threshold:(ms 1 / 64) ~open_for:(ms 100) ~probes:3 ()))
+      ~degrade:(Degrade.policy ~on_open:Degrade.Normal ~on_half_open:Degrade.Normal ())
+      ()
+  in
+  let router =
+    Router.create ~hedge_reads:false ~ring ~svc_config:cfg (fun i ->
+        f.(i).f_backend)
+  in
+  (* Stall every worker-lane access of shard 0's memory: the containment
+     claim is that lanes keep making progress on shard 1's keyspace and
+     nobody starves past the watchdog budget.  The plan is installed
+     before [run_chaos] spawns its workers (module-level fault state is
+     published by [Domain.spawn]); targeting lanes 0 and 1 leaves the
+     monitor's lane(-1) prefill clean, so the victim breaker only sees
+     stalled traffic once the measured window starts. *)
+  f.(0).f_install
+    (Fault.make_plan ~seed:13
+       [
+         { Fault.point = FP.Any; action = Stall 8; mode = Always; lane = Some 0 };
+         { Fault.point = FP.Any; action = Stall 8; mode = Always; lane = Some 1 };
+       ]);
+  let as_bool = function
+    | Svc.Served ok -> ok
+    | Svc.Rejected _ | Svc.Failed _ -> false
+  in
+  let r =
+    Lf_workload.Runner.run_chaos ~name:"router+stall-shard-0" ~window_s:0.15
+      ~insert:(fun k -> as_bool (Router.call router (Svc.Insert (k, k))))
+      ~delete:(fun k -> as_bool (Router.call router (Svc.Delete k)))
+      ~find:(fun k -> as_bool (Router.call router (Svc.Find k)))
+      ~domains:2 ~key_range
+      ~mix:{ Lf_workload.Opgen.insert_pct = 30; delete_pct = 30 }
+      ~seed:17 ()
+  in
+  f.(0).f_uninstall ();
+  Alcotest.(check bool) "watchdog clean: no lane starved" false
+    r.Lf_workload.Runner.c_watchdog_tripped;
+  Alcotest.(check (list int)) "no lane crashed" [] r.c_crashed;
+  Alcotest.(check bool) "lanes made progress" true (r.c_survivor_ops > 0);
+  let st = (Router.stats router).(0) in
+  Alcotest.(check bool) "victim breaker opened under the stall" true
+    (List.exists (fun (_, s) -> s = "open") st.transitions);
+  Alcotest.(check (option string)) "healthy shard stayed closed"
+    (Some "closed")
+    (Router.stats router).(1).breaker
+
+(* --- Per-key linearizability across a live handoff ------------------- *)
+
+(* Two domains hammer a tiny key space through the router while the main
+   thread hands slot 0 to the other shard.  Every Served outcome is a
+   completed history entry; rejections never executed; without faults
+   nothing is pending.  Linearizability decomposes per key for a
+   dictionary, so each key's projected history must linearize against
+   its prefill state — across the copy and the ownership flip. *)
+let test_linearizable_across_rebalance () =
+  let key_range = 6 and shards = 2 in
+  let clock = Clock.real () in
+  let ring = Hash_ring.create ~seed:21 ~shards () in
+  let lists = Array.init shards (fun _ -> Lf_list.Fr_list.Atomic_int.create ()) in
+  let module AI = Lf_list.Fr_list.Atomic_int in
+  (* Even keys start present, on their owning shard. *)
+  for k = 0 to key_range - 1 do
+    if k land 1 = 0 then
+      ignore (AI.insert lists.(Hash_ring.shard_of ring k) k k)
+  done;
+  let backend i =
+    let t = lists.(i) in
+    {
+      Router.insert = (fun k v -> AI.insert t k v);
+      delete = AI.delete t;
+      find = AI.find t;
+      batched = None;
+    }
+  in
+  let router =
+    Router.create ~ring ~svc_config:(fun _ -> Svc.config ~clock ()) backend
+  in
+  let rec_ = History.Recorder.create () in
+  let worker pid =
+    Domain.spawn (fun () ->
+        let rng = Lf_kernel.Splitmix.create (100 + pid) in
+        let entries = ref [] in
+        for _ = 1 to 40 do
+          let k = Lf_kernel.Splitmix.int rng key_range in
+          let op, req =
+            match Lf_kernel.Splitmix.int rng 3 with
+            | 0 -> (History.Insert k, Svc.Insert (k, k))
+            | 1 -> (History.Delete k, Svc.Delete k)
+            | _ -> (History.Find k, Svc.Find k)
+          in
+          let inv = History.Recorder.tick rec_ in
+          (match Router.call router req with
+          | Svc.Served ok ->
+              let ret = History.Recorder.tick rec_ in
+              entries := { History.pid; op; ok; inv; ret } :: !entries
+          | Svc.Rejected _ -> () (* never executed: no history entry *)
+          | Svc.Failed m -> Alcotest.failf "unexpected Failed: %s" m);
+          Domain.cpu_relax ()
+        done;
+        History.Recorder.add rec_ !entries)
+  in
+  let d0 = worker 0 and d1 = worker 1 in
+  (* Hand slot 0 over while the workers run. *)
+  Unix.sleepf 0.002;
+  let moved = Router.rebalance router ~slot:0 ~to_:1 ~key_range in
+  Domain.join d0;
+  Domain.join d1;
+  Alcotest.(check bool) "rebalance ran" true (moved >= 0);
+  let hist = History.Recorder.history rec_ in
+  Alcotest.(check bool) "history not empty" true (hist <> []);
+  let key_of_op = function
+    | History.Find k | History.Insert k | History.Delete k -> k
+  in
+  for k = 0 to key_range - 1 do
+    let proj = List.filter (fun (e : History.entry) -> key_of_op e.op = k) hist in
+    let init =
+      if k land 1 = 0 then Lf_lin.Checker.IntSet.singleton k
+      else Lf_lin.Checker.IntSet.empty
+    in
+    if not (Lf_workload.Runner.linearizable_with_pending ~init proj []) then
+      Alcotest.failf "key %d: projected history not linearizable:@\n%a" k
+        History.pp proj
+  done;
+  (* And the handoff conserved the keyspace. *)
+  for k = 0 to key_range - 1 do
+    let where =
+      List.filter (fun i -> AI.mem lists.(i) k) (List.init shards Fun.id)
+    in
+    match where with
+    | [] -> ()
+    | [ i ] ->
+        Alcotest.(check int)
+          (Printf.sprintf "key %d at its owner" k)
+          (Router.route router k) i
+    | _ -> Alcotest.failf "key %d present on several shards" k
+  done
+
+(* --- Health surface --------------------------------------------------- *)
+
+let test_health_and_metrics () =
+  let router, ring, tbs = plain_router ~shards:2 ~seed:8 () in
+  ignore ring;
+  List.iter
+    (fun k -> ignore (Router.call router (Svc.Insert (k, k))))
+    (List.init 10 Fun.id);
+  let line = Health.line router in
+  let contains s sub =
+    let n = String.length s and m = String.length sub in
+    let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "health names every shard" true
+    (contains line "s0=" && contains line "s1=");
+  tbs.(0).killed := true;
+  (match Router.call router (Svc.Find 0) with
+   | _ -> ());
+  let text = Lf_obs.Prom.render_metrics (Health.metrics router) in
+  match Lf_obs.Prom.validate text with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "per-shard metrics not valid exposition: %s" e
+
+let () =
+  Alcotest.run "shard"
+    [
+      ( "ring",
+        [ test_ring_deterministic; test_ring_reassign ] );
+      ( "routing",
+        [
+          test_routing_hits_owner;
+          Alcotest.test_case "scatter-gather partial failure" `Quick
+            test_call_many_partial_failure;
+        ] );
+      ( "hedging",
+        [
+          Alcotest.test_case "read hedges around a tripped shard" `Quick
+            test_hedged_read_tripped_shard;
+          Alcotest.test_case "hedge off / dead backend" `Quick
+            test_hedge_off_and_dead_backend;
+        ] );
+      ( "rebalance",
+        [
+          test_rebalance_conservation;
+          Alcotest.test_case "per-key linearizability across a handoff"
+            `Quick test_linearizable_across_rebalance;
+        ] );
+      ( "chaos",
+        [
+          Alcotest.test_case "shard-targeted stall, watchdog clean" `Quick
+            test_chaos_shard_targeted_stall;
+        ] );
+      ( "health",
+        [ Alcotest.test_case "line + metrics exposition" `Quick
+            test_health_and_metrics ] );
+    ]

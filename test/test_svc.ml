@@ -369,6 +369,98 @@ let test_call_many_coalesce () =
     (List.init 8 (fun _ -> Svc.Rejected Svc.Expired))
     r3
 
+(* --- Batch paths report per-key outcomes, never one collapsed error --- *)
+
+let test_call_many_partial_failure () =
+  let clock, _ = Clock.manual () in
+  let ops, _ = hashtbl_ops () in
+  (* Key 13's backend is down; every other key must still get its own
+     honest outcome, in input order, one per request. *)
+  let poisoned =
+    {
+      ops with
+      Svc.insert =
+        (fun k v -> if k = 13 then failwith "shard down" else ops.Svc.insert k v);
+      find = (fun k -> if k = 13 then failwith "shard down" else ops.Svc.find k);
+    }
+  in
+  let cfg = Svc.config ~clock ~retryable:(fun _ -> false) () in
+  let svc = Svc.create cfg poisoned in
+  let reqs =
+    [ Svc.Insert (1, 1); Svc.Insert (13, 13); Svc.Insert (2, 2); Svc.Find 13;
+      Svc.Find 1 ]
+  in
+  let out = Svc.call_many svc reqs in
+  Alcotest.(check int) "one outcome per request" (List.length reqs)
+    (List.length out);
+  (match out with
+  | [ Svc.Served true; Svc.Failed _; Svc.Served true; Svc.Failed _;
+      Svc.Served true ] ->
+      ()
+  | _ ->
+      Alcotest.failf "per-key outcomes wrong or collapsed: [%s]"
+        (String.concat "; " (List.map Svc.outcome_to_string out)));
+  let st = Svc.stats svc in
+  Alcotest.(check int) "no silent drops: calls = requests" (List.length reqs)
+    st.calls;
+  Alcotest.(check int) "failures counted, not hidden" 2 st.failed
+
+(* --- The wire protocol (pure parse/format) ---------------------------- *)
+
+module Wire = Lf_svc.Wire
+
+let cmd_ok s =
+  match Wire.parse s with
+  | Ok c -> c
+  | Error e -> Alcotest.failf "parse %S: ERR %s" s e
+
+let cmd_err s =
+  match Wire.parse s with
+  | Ok _ -> Alcotest.failf "parse %S unexpectedly succeeded" s
+  | Error e -> e
+
+let test_wire_batches () =
+  (match cmd_ok "MGET 1 2 3" with
+  | Wire.Multi [ Svc.Find 1; Svc.Find 2; Svc.Find 3 ] -> ()
+  | _ -> Alcotest.fail "MGET parsed wrong");
+  (match cmd_ok "mset 1 10 2 20" with
+  | Wire.Multi [ Svc.Insert (1, 10); Svc.Insert (2, 20) ] -> ()
+  | _ -> Alcotest.fail "MSET parsed wrong");
+  (match cmd_ok "KILL 2" with
+  | Wire.Kill 2 -> ()
+  | _ -> Alcotest.fail "KILL parsed wrong");
+  (* A full batch is fine; one more key is refused at the door. *)
+  let mget n =
+    String.concat " " ("MGET" :: List.init n string_of_int)
+  in
+  (match cmd_ok (mget Wire.max_batch) with
+  | Wire.Multi reqs ->
+      Alcotest.(check int) "full batch accepted" Wire.max_batch
+        (List.length reqs)
+  | _ -> Alcotest.fail "full batch parsed wrong");
+  Alcotest.(check string) "oversized batch" "batch too large (max 64)"
+    (cmd_err (mget (Wire.max_batch + 1)));
+  Alcotest.(check string) "empty MGET" "empty batch" (cmd_err "MGET");
+  Alcotest.(check string) "empty MSET" "empty batch" (cmd_err "MSET");
+  Alcotest.(check string) "duplicate MGET key" "duplicate key 5"
+    (cmd_err "MGET 1 5 3 5");
+  Alcotest.(check string) "duplicate MSET key" "duplicate key 7"
+    (cmd_err "MSET 7 1 7 2");
+  Alcotest.(check string) "odd MSET args" "MSET wants key value pairs"
+    (cmd_err "MSET 1 10 2");
+  (match Wire.parse "MGET 1 x 3" with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "non-numeric key accepted")
+
+let test_wire_format_multi () =
+  Alcotest.(check string) "one token per key, input order"
+    "MULTI 4 t f breaker-open failed"
+    (Wire.format_multi
+       [ Svc.Served true; Svc.Served false; Svc.Rejected Svc.Breaker_open;
+         Svc.Failed "boom" ]);
+  Alcotest.(check string) "empty outcome list" "MULTI 0 "
+    (Wire.format_multi [])
+
 (* --- Chaos through the full pipeline (EXP-18 meets EXP-20) ------------ *)
 
 module K = Lf_kernel.Ordered.Int
@@ -513,6 +605,14 @@ let () =
           Alcotest.test_case "breaker lifecycle through the pipeline" `Quick
             test_breaker_through_svc;
           Alcotest.test_case "coalesced batches" `Quick test_call_many_coalesce;
+          Alcotest.test_case "partial failure: per-key outcomes" `Quick
+            test_call_many_partial_failure;
+        ] );
+      ( "wire",
+        [
+          Alcotest.test_case "MGET/MSET/KILL parse + malformed batches" `Quick
+            test_wire_batches;
+          Alcotest.test_case "MULTI formatting" `Quick test_wire_format_multi;
         ] );
       ( "chaos",
         [

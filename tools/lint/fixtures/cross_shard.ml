@@ -1,0 +1,32 @@
+(* Fixture for [no-cross-shard-state]: mutable state bound at module
+   initialization is shared by every shard and every router in the
+   process; state allocated under a function is per-instance and fine. *)
+
+(* Module-level cells: all flagged. *)
+let inflight_table : (int, int) Hashtbl.t = Hashtbl.create 64 (* EXPECT: no-cross-shard-state *)
+let last_owner = ref (-1) (* EXPECT: no-cross-shard-state *)
+let big_lock = Mutex.create () (* EXPECT: no-cross-shard-state *)
+let heights = Array.make 8 0 (* EXPECT: no-cross-shard-state *)
+let pending = Queue.create () (* EXPECT: no-cross-shard-state *)
+
+(* Inside a nested module: still module scope, still flagged. *)
+module Journal = struct
+  let lines = ref [] (* EXPECT: no-cross-shard-state *)
+  let scratch = Buffer.create 80 (* EXPECT: no-cross-shard-state *)
+end
+
+(* A tuple/record spine still evaluates at init time. *)
+let pair = (ref 0, 1) (* EXPECT: no-cross-shard-state *)
+
+(* Deferred under a lambda: allocated per call, not per module — clean. *)
+let fresh_counter () = ref 0
+let fresh_table () = Hashtbl.create 16
+
+let make_shard n =
+  let slots = Array.make n None in
+  let mu = Mutex.create () in
+  (slots, mu)
+
+(* Immutable module-level values are clean. *)
+let limit = 64
+let name = "router"

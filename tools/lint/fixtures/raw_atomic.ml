@@ -2,7 +2,7 @@
    Operation call sites also trip no-bare-atomic (all rules are active in
    fixture mode). *)
 
-let counter = Atomic.make 0 (* EXPECT: no-raw-atomic no-bare-atomic *)
+let counter = Atomic.make 0 (* EXPECT: no-raw-atomic no-bare-atomic no-cross-shard-state *)
 let bump () = Atomic.incr counter (* EXPECT: no-raw-atomic no-bare-atomic *)
 
 type cell = { slot : int Atomic.t } (* EXPECT: no-raw-atomic *)

@@ -1,6 +1,6 @@
 (* Source-level concurrency lint over the compiler-libs parsetree.
 
-   Nine rules, each motivated by a class of bug that type-checks fine but
+   Ten rules, each motivated by a class of bug that type-checks fine but
    breaks the lock-free structures at runtime:
 
    - [no-raw-atomic]: every shared cell must go through the [Lf_kernel.Mem.S]
@@ -69,6 +69,16 @@
      ablation uses [Budget.unlimited]: same code path, so the obligation
      holds even there.
 
+   - [no-cross-shard-state]: the sharding layer's containment claim —
+     a fault blast radius of one shard — holds only if shards share no
+     mutable state.  A module-level [ref]/[Hashtbl.t]/[Mutex.t]/... in
+     [lib/shard/] is process-wide: every router and every shard funnels
+     through it, so one stalled shard can wedge or corrupt the others
+     through a side channel the per-shard breakers never see.  Flags
+     mutable-state allocations evaluated at module initialization time
+     (not ones deferred under a function, which are per-instance); the
+     router's bounded decision journal is the one reviewed waiver.
+
    The rules are path-scoped and a small waiver table exempts known-benign
    files, each with a reason that is printed if the waiver is ever reported. *)
 
@@ -83,6 +93,7 @@ let rule_timing = "no-timing-in-structures"
 let rule_unbounded_retry = "no-unbounded-retry"
 let rule_bare_atomic = "no-bare-atomic"
 let rule_hot_alloc = "no-hot-alloc"
+let rule_cross_shard = "no-cross-shard-state"
 let rule_parse_error = "parse-error"
 
 (* Directories where shared cells are allowed to be raw atomics: the kernel
@@ -126,6 +137,12 @@ let retry_scope_prefixes = [ "lib/svc/" ]
    outside the loops. *)
 let hot_alloc_scope_prefixes =
   [ "lib/core/"; "lib/skiplist/"; "lib/hashtable/"; "lib/pqueue/" ]
+
+(* The sharding layer: per-shard failure containment is an isolation
+   property, so mutable state evaluated at module initialization (shared
+   by every shard and every router in the process) is a containment
+   bug unless deliberately waivered. *)
+let cross_shard_scope_prefixes = [ "lib/shard/" ]
 
 (* file, rule, reason.  Waivers are deliberate, reviewed exceptions. *)
 let waivers =
@@ -204,6 +221,17 @@ let waivers =
       rule_raw_atomic,
       "cross-worker goodput/retry counters on the measurement side of the \
        service layer; never part of a structure's protocol" );
+    ( "bench/exp23.ml",
+      rule_raw_atomic,
+      "per-shard goodput counters on the measurement side of the shard \
+       router; never part of a structure's protocol" );
+    ( "lib/shard/router.ml",
+      rule_cross_shard,
+      "the rebalance decision journal: a bounded, process-wide log of \
+       begin/end lines for post-mortems, deliberately one timeline across \
+       routers; it carries no routing state — routing is a pure function \
+       of ring + migration watermark — so no shard's behaviour can flow \
+       through it into another shard" );
   ]
 
 let waived path rule =
@@ -234,6 +262,8 @@ let rule_active ~all path rule =
        has_prefix path bare_atomic_scope_prefixes
      else if String.equal rule rule_hot_alloc then
        has_prefix path hot_alloc_scope_prefixes
+     else if String.equal rule rule_cross_shard then
+       has_prefix path cross_shard_scope_prefixes
      else true
 
 open Parsetree
@@ -442,6 +472,56 @@ let hot_alloc_msg what =
      measures); hoist it out of the loop or serve it from the per-node \
      descriptor interning caches"
 
+(* no-cross-shard-state: mutable-state allocators whose result, bound at
+   module initialization time, becomes process-wide state shared by every
+   shard (and every router) in the process.  Allocations under a lambda
+   are per-call/per-instance and therefore fine — [create] builds each
+   router's state fresh. *)
+let lid_is_mutable_alloc = function
+  | Longident.Lident "ref"
+  | Longident.Ldot (Longident.Lident "Stdlib", "ref") ->
+      true
+  | Longident.Ldot
+      ( Longident.Lident
+          ("Hashtbl" | "Queue" | "Stack" | "Buffer" | "Mutex" | "Condition"),
+        "create" ) ->
+      true
+  | Longident.Ldot (Longident.Lident "Atomic", ("make" | "make_contended")) ->
+      true
+  | Longident.Ldot
+      (Longident.Lident "Array", ("make" | "create" | "init" | "make_matrix"))
+    ->
+      true
+  | Longident.Ldot (Longident.Lident "Bytes", ("make" | "create")) -> true
+  | _ -> false
+
+let cross_shard_msg =
+  "module-level mutable state in the sharding layer: every shard and every \
+   router in the process shares this cell, so one shard's failure can leak \
+   into another's behaviour behind the per-shard breakers' backs; allocate \
+   it inside [create] and carry it in the router/shard record instead"
+
+(* Mutable allocations evaluated when the module initializes: walk a
+   top-level binding's expression but do not descend into function bodies
+   (deferred) — a [let f () = ref 0] allocates per call, not per module. *)
+let iter_module_init_allocs f (e : Parsetree.expression) =
+  let default = Ast_iterator.default_iterator in
+  let it =
+    {
+      default with
+      expr =
+        (fun it e ->
+          match e.pexp_desc with
+          | Pexp_fun _ | Pexp_function _ | Pexp_lazy _ -> ()
+          | Pexp_apply ({ pexp_desc = Pexp_ident { txt; loc }; _ }, _)
+            when lid_is_mutable_alloc txt ->
+              f loc;
+              default.expr it e
+          | _ -> default.expr it e);
+    }
+  in
+  it.expr it e
+
 let compare_lr (l1, r1) (l2, r2) =
   match Int.compare l1 l2 with 0 -> String.compare r1 r2 | c -> c
 
@@ -588,10 +668,40 @@ let check_file ~all path =
           default.typ it ty);
     }
   in
+  (* no-cross-shard-state: only bindings at module scope — the top level
+     and nested module structures — initialize with the module; a
+     [let module] inside a function body is per-call and never reached
+     by this walk. *)
+  let rec check_module_state (str : structure) =
+    List.iter
+      (fun (si : structure_item) ->
+        match si.pstr_desc with
+        | Pstr_value (_, vbs) ->
+            List.iter
+              (fun (vb : value_binding) ->
+                iter_module_init_allocs
+                  (fun loc -> report loc rule_cross_shard cross_shard_msg)
+                  vb.pvb_expr)
+              vbs
+        | Pstr_module mb -> check_module_expr mb.pmb_expr
+        | Pstr_recmodule mbs ->
+            List.iter (fun (mb : module_binding) -> check_module_expr mb.pmb_expr) mbs
+        | Pstr_include incl -> check_module_expr incl.pincl_mod
+        | _ -> ())
+      str
+  and check_module_expr (me : module_expr) =
+    match me.pmod_desc with
+    | Pmod_structure str -> check_module_state str
+    | Pmod_functor (_, body) -> check_module_expr body
+    | Pmod_constraint (me, _) -> check_module_expr me
+    | _ -> ()
+  in
   let lexbuf = Lexing.from_string src in
   Lexing.set_filename lexbuf path;
   (match Parse.implementation lexbuf with
-  | str -> it.structure it str
+  | str ->
+      it.structure it str;
+      check_module_state str
   | exception e ->
       out :=
         {
