@@ -41,6 +41,8 @@ let experiments : (string * string * (unit -> unit)) list =
       ignore (Exp22.run ()));
     ("exp23", "sharded service: containment + scaling", fun () ->
       ignore (Exp23.run ()));
+    ("exp24", "request tracing: overhead + tail attribution + flight recorder",
+      fun () -> ignore (Exp24.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 

@@ -13,6 +13,7 @@
 
      serve       line-protocol TCP front behind the lib/svc pipeline
      call        tiny client for a running serve (smoke tests, CI)
+     flightdump  ask a tracing serve to dump its flight recorder
 
    Examples:
      dune exec bin/lfdict.exe -- list
@@ -776,8 +777,27 @@ let shards_arg =
            shard $(i,i)'s backend fail (containment demo).  1 = the \
            plain single-instance server.")
 
+let trace_requests_flag =
+  Arg.(
+    value & flag
+    & info [ "trace-requests" ]
+        ~doc:
+          "End-to-end request tracing: every request runs under a causal \
+           span tree (router fan-out, pipeline decisions, structure ops, \
+           failed C&S attribution), the flight recorder retains completed \
+           trees per domain, METRICS carries tail exemplars, and \
+           anomalies (KILL, a breaker opening, SLO fast burn) dump a \
+           trace bundle into --dump-dir.")
+
+let dump_dir_arg =
+  Arg.(
+    value & opt string "flight-dumps"
+    & info [ "dump-dir" ] ~docv:"DIR"
+        ~doc:"Directory for flight-recorder dump bundles.")
+
 let serve_cmd =
-  let run impl port deadline_ms retry budget shed breaker shards =
+  let run impl port deadline_ms retry budget shed breaker shards trace_requests
+      dump_dir =
     Lf_obs.Recorder.set_level Lf_obs.Recorder.Off;
     Lf_obs.Recorder.reset ();
     Lf_obs.Recorder.set_clock Lf_obs.Recorder.Real;
@@ -787,6 +807,23 @@ let serve_cmd =
     in
     let clock = Lf_svc.Clock.real () in
     let ms = Lf_svc.Clock.ms clock in
+    let now () = Lf_svc.Clock.now clock in
+    (* Tracing: the request spans and the recorder's structure-op spans
+       must tick off the SAME clock, or op spans would not nest inside
+       their request spans — align the recorder to the pipeline clock. *)
+    if trace_requests then begin
+      Lf_obs.Span.reset ();
+      Lf_obs.Span.set_level Lf_obs.Span.Spans;
+      Lf_obs.Recorder.set_clock (Lf_obs.Recorder.Manual now)
+    end;
+    (* The serve SLO: 99% of requests good over a 5s fast window and a
+       60s slow window, quarter-second buckets.  Served counts as good;
+       rejections and failures burn budget. *)
+    let slo =
+      Lf_obs.Slo.create ~target:0.99 ~bucket:(ms 250)
+        ~windows:[ ms 5_000; ms 60_000 ]
+        ()
+    in
     let cfg =
       Lf_svc.Svc.config ~clock
         ~deadline:(if deadline_ms <= 0 then max_int else ms deadline_ms)
@@ -819,15 +856,18 @@ let serve_cmd =
        victim's breaker trips and HEALTH turns "s<i>=degraded" while
        the other shards keep answering.  The accept loop is
        sequential, so plain bool switches suffice. *)
-    let op_h, multi_h, health_h, metrics_h, kill_h =
+    let op_h, multi_h, health_h, metrics_h, kill_h, open_now =
       if shards <= 1 then
         let svc = Lf_svc.Svc.create cfg (svc_ops (module D)) in
-        ( (fun req -> Lf_svc.Wire.format_outcome (Lf_svc.Svc.call svc req)),
-          (fun reqs ->
-            Lf_svc.Wire.format_multi (Lf_svc.Svc.call_many svc reqs)),
+        ( (fun ctx req -> Lf_svc.Svc.call svc ~ctx req),
+          (fun ctx reqs -> Lf_svc.Svc.call_many svc ~ctx reqs),
           (fun () -> Lf_svc.Wire.health_line (Lf_svc.Svc.stats svc)),
           (fun () -> Lf_obs.Prom.snapshot ()),
-          fun _ -> Lf_svc.Wire.format_error "no shards (serve with --shards)" )
+          (fun _ -> Lf_svc.Wire.format_error "no shards (serve with --shards)"),
+          fun () ->
+            match (Lf_svc.Svc.stats svc).breaker with
+            | Some b when b <> "closed" -> [ 0 ]
+            | Some _ | None -> [] )
       else begin
         let kills = Array.make shards false in
         let mk_backend i : Lf_shard.Router.backend =
@@ -862,9 +902,8 @@ let serve_cmd =
         let router =
           Lf_shard.Router.create ~ring ~svc_config:(fun _ -> cfg) mk_backend
         in
-        ( (fun req -> Lf_svc.Wire.format_outcome (Lf_shard.Router.call router req)),
-          (fun reqs ->
-            Lf_svc.Wire.format_multi (Lf_shard.Router.call_many router reqs)),
+        ( (fun ctx req -> Lf_shard.Router.call router ~ctx req),
+          (fun ctx reqs -> Lf_shard.Router.call_many router ~ctx reqs),
           (fun () -> Lf_shard.Health.line router),
           (fun () ->
             let shard_of k = string_of_int (Lf_shard.Router.route router k) in
@@ -885,13 +924,61 @@ let serve_cmd =
                              (Lf_obs.Recorder.profile ()));
                     };
                   ])),
-          fun s ->
+          (fun s ->
             if s < 0 || s >= shards then Lf_svc.Wire.format_error "bad shard"
             else begin
               kills.(s) <- true;
               "OK true"
-            end )
+            end),
+          fun () -> Lf_shard.Health.open_breakers router )
       end
+    in
+    (* Flight-recorder anomaly triggers.  The dump is a serialization of
+       rings that are already populated, so firing it from the accept
+       loop costs one traversal — no steady-state overhead. *)
+    let dump reason meta =
+      if trace_requests then begin
+        let path, _ = Lf_obs.Flight.dump ~dir:dump_dir ~reason ~meta () in
+        Printf.printf "lfdict serve: flight dump %s (%s)\n%!" path reason
+      end
+    in
+    let prev_open = ref [] and burning = ref false in
+    let check_anomalies () =
+      if trace_requests then begin
+        let opened = open_now () in
+        let newly =
+          List.filter (fun i -> not (List.mem i !prev_open)) opened
+        in
+        prev_open := opened;
+        if newly <> [] then
+          dump "breaker-open"
+            [
+              ( "shards",
+                String.concat "," (List.map string_of_int newly) );
+            ];
+        let fb = Lf_obs.Slo.fast_burn slo ~now:(now ()) in
+        if fb && not !burning then dump "slo-fast-burn" [];
+        burning := fb
+      end
+    in
+    let good = function
+      | Lf_svc.Svc.Served _ -> true
+      | Lf_svc.Svc.Rejected _ | Lf_svc.Svc.Failed _ -> false
+    in
+    (* One root span per wire request; ended ok iff every outcome was
+       served, which is also what the SLO counts as good. *)
+    let traced name f =
+      let ctx =
+        if trace_requests then Lf_obs.Span.root ~name ~now:(now ())
+        else Lf_obs.Span.nil
+      in
+      let outcomes = f ctx in
+      let ok = List.for_all good outcomes in
+      Lf_obs.Span.end_ ctx ~now:(now ()) ~ok;
+      List.iter (fun o -> Lf_obs.Slo.observe slo ~now:(now ()) ~good:(good o))
+        outcomes;
+      check_anomalies ();
+      outcomes
     in
     let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
     Unix.setsockopt sock Unix.SO_REUSEADDR true;
@@ -914,20 +1001,43 @@ let serve_cmd =
                    output_string oc (Lf_svc.Wire.format_error e);
                    output_char oc '\n'
                | Ok (Lf_svc.Wire.Op req) ->
-                   output_string oc (op_h req);
+                   let out =
+                     match traced "request" (fun ctx -> [ op_h ctx req ]) with
+                     | [ o ] -> o
+                     | _ -> assert false
+                   in
+                   output_string oc (Lf_svc.Wire.format_outcome out);
                    output_char oc '\n'
                | Ok (Lf_svc.Wire.Multi reqs) ->
-                   output_string oc (multi_h reqs);
+                   let outs = traced "multi" (fun ctx -> multi_h ctx reqs) in
+                   output_string oc (Lf_svc.Wire.format_multi outs);
                    output_char oc '\n'
                | Ok (Lf_svc.Wire.Kill s) ->
-                   output_string oc (kill_h s);
-                   output_char oc '\n'
+                   let resp = kill_h s in
+                   output_string oc resp;
+                   output_char oc '\n';
+                   if resp = "OK true" then
+                     dump "shard-kill" [ ("shard", string_of_int s) ]
                | Ok Lf_svc.Wire.Health ->
                    output_string oc (health_h ());
                    output_char oc '\n'
                | Ok Lf_svc.Wire.Metrics ->
                    output_string oc (metrics_h ());
                    output_string oc "END\n"
+               | Ok Lf_svc.Wire.Slo ->
+                   output_string oc (Lf_obs.Slo.line slo ~now:(now ()));
+                   output_char oc '\n'
+               | Ok Lf_svc.Wire.Flightdump ->
+                   (if not trace_requests then
+                      output_string oc
+                        (Lf_svc.Wire.format_error
+                           "tracing off (serve with --trace-requests)")
+                    else
+                      let path, _ =
+                        Lf_obs.Flight.dump ~dir:dump_dir ~reason:"manual" ()
+                      in
+                      output_string oc ("OK " ^ path));
+                   output_char oc '\n'
                | Ok Lf_svc.Wire.Quit -> quit := true
                | Ok Lf_svc.Wire.Shutdown ->
                    output_string oc "OK true\n";
@@ -945,12 +1055,15 @@ let serve_cmd =
          "Serve an implementation over a line-protocol TCP socket, behind \
           the lib/svc robustness pipeline (deadlines, retry budgets, load \
           shedding, circuit breaking), optionally sharded behind a \
-          consistent-hash router (--shards).  Protocol: PUT k v / DEL k / \
+          consistent-hash router (--shards), with optional end-to-end \
+          request tracing, SLO burn tracking and an anomaly-triggered \
+          flight recorder (--trace-requests).  Protocol: PUT k v / DEL k / \
           GET k / MGET k.. / MSET k v.. / KILL i / HEALTH / METRICS / \
-          QUIT / SHUTDOWN, one per line.")
+          SLO / FLIGHTDUMP / QUIT / SHUTDOWN, one per line.")
     Term.(
       const run $ impl_arg $ port_arg $ deadline_ms_arg $ retry_arg
-      $ retry_budget_arg $ shed_arg $ breaker_flag $ shards_arg)
+      $ retry_budget_arg $ shed_arg $ breaker_flag $ shards_arg
+      $ trace_requests_flag $ dump_dir_arg)
 
 let call_cmd =
   let lines_arg =
@@ -1015,6 +1128,34 @@ let call_cmd =
           responses (a tiny client for smoke tests and CI).")
     Term.(const run $ port_arg $ connect_retries_arg $ lines_arg)
 
+let flightdump_cmd =
+  let run port =
+    let addr = Unix.ADDR_INET (Unix.inet_addr_loopback, port) in
+    let sock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+    (try Unix.connect sock addr
+     with Unix.Unix_error (e, _, _) ->
+       Printf.eprintf "connect failed: %s\n" (Unix.error_message e);
+       exit 1);
+    let ic = Unix.in_channel_of_descr sock in
+    let oc = Unix.out_channel_of_descr sock in
+    output_string oc "FLIGHTDUMP\n";
+    flush oc;
+    (match input_line ic with
+    | line ->
+        print_endline line;
+        if String.length line >= 3 && String.sub line 0 3 = "ERR" then exit 1
+    | exception End_of_file ->
+        prerr_endline "connection closed";
+        exit 1);
+    try Unix.close sock with Unix.Unix_error _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "flightdump"
+       ~doc:
+         "Ask a running $(b,lfdict serve --trace-requests) to dump its \
+          flight recorder; prints $(b,OK <path>) on success.")
+    Term.(const run $ port_arg)
+
 let () =
   let info =
     Cmd.info "lfdict" ~version:"1.0"
@@ -1032,5 +1173,6 @@ let () =
             model_cmd;
             serve_cmd;
             call_cmd;
+            flightdump_cmd;
             list_cmd;
           ]))

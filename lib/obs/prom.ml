@@ -115,6 +115,26 @@ let snapshot () =
       int_sample buf "lf_op_latency_sum" [ op_l ] (Hist.sum h);
       int_sample buf "lf_op_latency_count" [ op_l ] (Hist.count h))
     (Recorder.latencies ());
+  (* Request latency histogram with tail-based exemplars: cumulative
+     buckets from the span layer's exemplar table, each bucket carrying
+     the trace id of its worst recent request (OpenMetrics exemplar
+     syntax, accepted by [validate]). *)
+  header buf "lf_latency"
+    "Request latency histogram with trace-id exemplars (clock ticks)"
+    "histogram";
+  let cum = ref 0 in
+  List.iter
+    (fun (x : Span.exemplar) ->
+      cum := !cum + x.Span.ex_count;
+      Buffer.add_string buf
+        (Printf.sprintf
+           "lf_latency_bucket{le=\"%d\"} %d # {trace_id=\"%d\"} %d\n"
+           x.Span.ex_le !cum x.Span.ex_trace x.Span.ex_latency))
+    (Span.exemplars ());
+  let lat_sum, lat_count = Span.latency_totals () in
+  int_sample buf "lf_latency_bucket" [ ("le", "+Inf") ] lat_count;
+  int_sample buf "lf_latency_sum" [] lat_sum;
+  int_sample buf "lf_latency_count" [] lat_count;
   header buf "lf_trace_events" "Trace events retained in the ring buffers"
     "gauge";
   int_sample buf "lf_trace_events" [] (Recorder.event_count ());
@@ -175,6 +195,57 @@ let is_name_char c = is_name_start c || (c >= '0' && c <= '9')
 let is_label_start c =
   (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
 
+(* Parse one [{name="value",...}] set in [s] at [!pos] (pointing at the
+   '{'); advances [pos] past the closing '}'.  Shared by the sample's
+   label set and the OpenMetrics exemplar's. *)
+let parse_labelset s pos =
+  let n = String.length s in
+  if !pos >= n || s.[!pos] <> '{' then Error "expected '{'"
+  else begin
+    incr pos;
+    let rec labels () =
+      if !pos >= n then Error "unterminated label set"
+      else if s.[!pos] = '}' then begin
+        incr pos;
+        Ok ()
+      end
+      else if not (is_label_start s.[!pos]) then Error "bad label name"
+      else begin
+        while !pos < n && is_name_char s.[!pos] do
+          incr pos
+        done;
+        if !pos >= n || s.[!pos] <> '=' then Error "expected '='"
+        else begin
+          incr pos;
+          if !pos >= n || s.[!pos] <> '"' then Error "expected '\"'"
+          else begin
+            incr pos;
+            let closed = ref false in
+            while (not !closed) && !pos < n do
+              if s.[!pos] = '\\' then pos := !pos + 2
+              else if s.[!pos] = '"' then begin
+                closed := true;
+                incr pos
+              end
+              else incr pos
+            done;
+            if not !closed then Error "unterminated label value"
+            else if !pos < n && s.[!pos] = ',' then begin
+              incr pos;
+              labels ()
+            end
+            else labels ()
+          end
+        end
+      end
+    in
+    labels ()
+  end
+
+let float_token = function
+  | "NaN" | "+Inf" | "-Inf" -> true
+  | v -> ( match float_of_string_opt v with Some _ -> true | None -> false)
+
 let validate_line ln line =
   let err msg = Error (Printf.sprintf "line %d: %s (%S)" ln msg line) in
   let n = String.length line in
@@ -189,6 +260,13 @@ let validate_line ln line =
     else err "comment is neither # HELP nor # TYPE"
   else begin
     let pos = ref 0 in
+    let token () =
+      let start = !pos in
+      while !pos < n && line.[!pos] <> ' ' do
+        incr pos
+      done;
+      String.sub line start (!pos - start)
+    in
     let name_ok =
       if n > 0 && is_name_start line.[0] then begin
         incr pos;
@@ -201,75 +279,46 @@ let validate_line ln line =
     in
     if not name_ok then err "bad metric name"
     else begin
-      let labels_ok = ref true in
-      let label_err = ref "" in
-      if !pos < n && line.[!pos] = '{' then begin
-        incr pos;
-        let rec labels () =
-          if !pos >= n then begin
-            labels_ok := false;
-            label_err := "unterminated label set"
-          end
-          else if line.[!pos] = '}' then incr pos
+      let labels_result =
+        if !pos < n && line.[!pos] = '{' then parse_labelset line pos
+        else Ok ()
+      in
+      match labels_result with
+      | Error m -> err m
+      | Ok () ->
+          if !pos >= n || line.[!pos] <> ' ' then
+            err "expected space before value"
           else begin
-            (* label name *)
-            if not (is_label_start line.[!pos]) then begin
-              labels_ok := false;
-              label_err := "bad label name"
-            end
+            incr pos;
+            let value = token () in
+            if not (float_token value) then err "value is not a float"
+            else if !pos >= n then Ok ()
+            else if
+              (* OpenMetrics exemplar: [ # {labels} value [timestamp]]. *)
+              not (!pos + 2 < n && line.[!pos + 1] = '#' && line.[!pos + 2] = ' ')
+            then err "junk after value"
             else begin
-              while !pos < n && is_name_char line.[!pos] do
-                incr pos
-              done;
-              if !pos >= n || line.[!pos] <> '=' then begin
-                labels_ok := false;
-                label_err := "expected '='"
-              end
-              else begin
-                incr pos;
-                if !pos >= n || line.[!pos] <> '"' then begin
-                  labels_ok := false;
-                  label_err := "expected '\"'"
-                end
-                else begin
-                  incr pos;
-                  let closed = ref false in
-                  while (not !closed) && !pos < n do
-                    if line.[!pos] = '\\' then pos := !pos + 2
-                    else if line.[!pos] = '"' then begin
-                      closed := true;
-                      incr pos
-                    end
-                    else incr pos
-                  done;
-                  if not !closed then begin
-                    labels_ok := false;
-                    label_err := "unterminated label value"
-                  end
-                  else if !pos < n && line.[!pos] = ',' then begin
+              pos := !pos + 3;
+              match parse_labelset line pos with
+              | Error m -> err ("exemplar: " ^ m)
+              | Ok () ->
+                  if !pos >= n || line.[!pos] <> ' ' then
+                    err "exemplar: expected value"
+                  else begin
                     incr pos;
-                    labels ()
+                    let ev = token () in
+                    if not (float_token ev) then
+                      err "exemplar value is not a float"
+                    else if !pos >= n then Ok ()
+                    else begin
+                      incr pos;
+                      let ts = token () in
+                      if !pos = n && float_token ts then Ok ()
+                      else err "bad exemplar timestamp"
+                    end
                   end
-                  else labels ()
-                end
-              end
             end
           end
-        in
-        labels ()
-      end;
-      if not !labels_ok then err !label_err
-      else if !pos >= n || line.[!pos] <> ' ' then
-        err "expected space before value"
-      else begin
-        let value = String.sub line (!pos + 1) (n - !pos - 1) in
-        let value_ok =
-          match value with
-          | "NaN" | "+Inf" | "-Inf" -> true
-          | v -> ( match float_of_string_opt v with Some _ -> true | None -> false)
-        in
-        if value_ok then Ok () else err "value is not a float"
-      end
     end
   end
 

@@ -165,6 +165,12 @@ let on_write () =
     st.tally.C.writes <- st.tally.C.writes + 1
 
 let on_cas kind ok =
+  (* Request-span attribution rides on the span layer's own level, so a
+     serve process tracing requests sees C&S failures inside the owning
+     request even with the recorder off.  [Span.note_cas_fail] reads one
+     level word and returns when spans are off, keeping this path
+     allocation-free at both Offs. *)
+  if not ok then Span.note_cas_fail ~now kind;
   if !lvl = 0 then ()
   else begin
     let st = local () in
@@ -203,6 +209,10 @@ let on_event (e : Lf_kernel.Mem_event.t) =
   end
 
 let span_begin ~op ~key =
+  (* Mirror the operation as a structure-op span inside the owning
+     request's tree (no-op unless request tracing is at [Spans] and the
+     executing lane registered a context via [Span.with_current]). *)
+  Span.op_begin ~name:(Obs_event.op_to_string op) ~key ~now;
   if !lvl < 2 then ()
   else begin
     let st = local () in
@@ -212,6 +222,7 @@ let span_begin ~op ~key =
   end
 
 let span_end ~op ~ok =
+  Span.op_end ~ok ~now;
   if !lvl = 0 then ()
   else begin
     let st = local () in

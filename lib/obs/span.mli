@@ -1,0 +1,191 @@
+(** Request-scoped causal tracing: span trees with explicit context
+    propagation.
+
+    A {e span} is a named interval of one request's journey through the
+    serve → router → shard pipeline (an admission decision, a retry
+    attempt, a hedge, a structure operation), carrying typed events.
+    Spans form a tree per request rooted at the span {!root} creates;
+    the tree's trace id is the root's span id.  Context is propagated
+    {e explicitly}: the serve layer creates a root {!ctx}, threads it
+    through [Svc.call ?ctx] / [Router.call ?ctx], and each layer opens
+    children with {!begin_} — there is no ambient request context.  The
+    one implicit hop is C&S-failure attribution: {!with_current}
+    registers the executing attempt for the current lane so the
+    recorder's [on_cas] hook can land {!note_cas_fail} events inside the
+    owning request span without the structures knowing about requests.
+
+    Levels mirror the recorder's discipline: every entry point reads a
+    single level word first, and at [Off] returns a constant — no
+    domain-local lookup, no allocation (the no-hot-alloc rule; exp24
+    part A prices it).  [Counters] tallies spans and events without
+    materializing them; [Spans] builds the trees.  Ticks come from
+    whatever clock the caller reads — the [Clock] seam in the service
+    layer, the recorder clock for structure ops — so under the
+    simulator or a manual clock a run's span dump is byte-identical
+    across executions.
+
+    Completed trees feed two consumers: a bounded per-domain flight ring
+    ({!trees}, dumped by [Flight] on anomalies) and the tail-based
+    exemplar table ({!exemplars}: per latency bucket, the trace id of
+    the worst recent request — exported as Prometheus exemplars on
+    [lf_latency]). *)
+
+type level = Off | Counters | Spans
+
+val set_level : level -> unit
+val level : unit -> level
+val level_to_string : level -> string
+val level_of_string : string -> level option
+
+val enabled : unit -> bool
+(** [level () > Off]. *)
+
+val spans_on : unit -> bool
+(** [level () = Spans]: trees are being materialized. *)
+
+(** Typed span events: the pipeline-decision vocabulary. *)
+type event =
+  | Deadline_check of bool  (** [true] = expired *)
+  | Shed_verdict of string
+  | Breaker_verdict of string
+  | Degrade_mode of string
+  | Retry_wait of { attempt : int; delay : int }
+  | Budget_denied
+  | Hedge_outcome of string
+  | Drain_wait of int  (** rebalance waited for this key's inflight ops *)
+  | Key of int  (** the key a structure-op span works on *)
+  | Cas_fail of Lf_kernel.Mem_event.cas_kind
+  | Note of string
+
+val event_strings : event -> string * string
+(** [(kind, argument)] rendering used by dumps; stable. *)
+
+type span = private {
+  s_trace : int;
+  s_id : int;
+  s_parent : int;  (** 0 for the root *)
+  s_name : string;
+  s_begin : int;
+  mutable s_end : int;  (** -1 while open *)
+  mutable s_ok : bool;
+  mutable s_events : (int * event) list;  (** newest first *)
+}
+
+type tree
+
+type ctx
+(** A handle to an open span (or a no-op sentinel below [Spans]).
+    Values are immutable; propagation is by argument passing. *)
+
+val nil : ctx
+(** The inert context: every operation on it is a no-op.  [?ctx]
+    parameters default to it, which is what keeps the off path
+    allocation-free. *)
+
+val active : ctx -> bool
+(** [false] only for {!nil}: guard event-payload construction with this
+    so the off path allocates nothing. *)
+
+val trace_id : ctx -> int
+(** The owning trace id; 0 unless the context carries a materialized
+    span. *)
+
+val root : name:string -> now:int -> ctx
+(** Open a new trace (one per request).  Returns {!nil} at [Off], a
+    tally-only context at [Counters]. *)
+
+val begin_ : ctx -> name:string -> now:int -> ctx
+(** Open a child span under [ctx].  On {!nil}, returns {!nil}. *)
+
+val end_ : ctx -> now:int -> ok:bool -> unit
+(** Close the span.  Closing a root completes its tree: the tree enters
+    the flight ring and its root latency the exemplar table.  Every
+    [begin_] must be paired with an [end_] on all exits (the
+    [no-orphan-span] lint). *)
+
+val event : ctx -> now:int -> event -> unit
+
+val with_current : ctx -> (unit -> 'a) -> 'a
+(** Run [f] with [ctx] registered as the current lane's executing span,
+    restoring the previous registration on all exits — the attribution
+    seam {!note_cas_fail} and the recorder's op-span hooks use. *)
+
+val note_cas_fail : now:(unit -> int) -> Lf_kernel.Mem_event.cas_kind -> unit
+(** Attribute one failed C&S to the current lane's span, if any.  [now]
+    is a function so the clock is only read when an event is actually
+    recorded. *)
+
+val op_begin : name:string -> key:int -> now:(unit -> int) -> unit
+(** Recorder hook: open a structure-operation span under the current
+    lane's registered context (no-op without one).  Paired with
+    {!op_end}; the pair is what places [Trace_mem]'s per-op view inside
+    the owning request span. *)
+
+val op_end : ok:bool -> now:(unit -> int) -> unit
+
+(** {1 Trees (collection at quiescence)} *)
+
+val tree_trace : tree -> int
+val tree_root : tree -> span
+
+val tree_spans : tree -> span list
+(** Root first, then completed descendants sorted by [(s_begin, s_id)] —
+    a deterministic order. *)
+
+val span_events : span -> (int * event) list
+(** Oldest first. *)
+
+val span_duration : span -> int
+
+val dominant_phase : tree -> string
+(** The span name with the largest summed {e self} time (duration minus
+    direct children) over the tree's completed non-root spans; the
+    root's name if there are none.  Ties break lexicographically. *)
+
+val well_formed : tree -> (unit, string) result
+(** Checks the causal-tree discipline: unique span ids, every non-root
+    span's parent present, children open after their parent opens and
+    close before it closes, no span from a foreign trace. *)
+
+val trees : unit -> tree list
+(** Completed trees retained in the per-domain flight rings, sorted by
+    trace id.  Meaningful at quiescence. *)
+
+val find_trace : int -> tree option
+
+type counts = {
+  roots : int;
+  spans : int;  (** non-root spans opened *)
+  events : int;
+  completed : int;  (** trees completed *)
+  cas_attributed : int;  (** failed C&S landed in request spans *)
+}
+
+val counts : unit -> counts
+
+val set_flight_capacity : int -> unit
+(** Per-domain completed-tree ring capacity (default 256); applies to
+    rings created after the call (and to all after {!reset}).
+    @raise Invalid_argument if [<= 0]. *)
+
+val reset : unit -> unit
+(** Clear every domain's rings, tallies, registrations and id counters,
+    and the exemplar table.  Callers must be quiescent. *)
+
+(** {1 Tail-based exemplars} *)
+
+type exemplar = {
+  ex_le : int;  (** inclusive upper latency bound of the bucket *)
+  ex_count : int;  (** completed requests that landed in the bucket *)
+  ex_trace : int;  (** trace id of the worst recent request in it *)
+  ex_latency : int;
+  ex_tick : int;  (** completion tick of that request *)
+}
+
+val exemplars : unit -> exemplar list
+(** Non-empty latency buckets in ascending bound order, each carrying
+    the trace id of its worst recent request. *)
+
+val latency_totals : unit -> int * int
+(** [(sum, count)] of completed-root latencies — the histogram's
+    [_sum] / [_count] pair. *)

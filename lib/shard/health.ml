@@ -10,10 +10,11 @@ type shard_health = {
   h_failed : int;
   h_rejected : int;
   h_hedged : int;
+  h_hedge_wins : int;
 }
 
 let of_router r =
-  let stats = Router.stats r and hedged = Router.hedged r in
+  let stats = Router.stats r and hedged = Router.hedge_stats r in
   Array.to_list
     (Array.mapi
        (fun i (s : Svc.stats) ->
@@ -27,7 +28,8 @@ let of_router r =
            h_served = s.served;
            h_failed = s.failed;
            h_rejected = List.fold_left (fun a (_, n) -> a + n) 0 s.rejected;
-           h_hedged = hedged.(i);
+           h_hedged = fst hedged.(i);
+           h_hedge_wins = snd hedged.(i);
          })
        stats)
 
@@ -35,10 +37,12 @@ let line r =
   let hs = of_router r in
   let overall = if List.for_all (fun h -> h.h_ok) hs then "ok" else "degraded" in
   let shard h =
-    Printf.sprintf "s%d=%s(%s) calls=%d served=%d failed=%d rejected=%d hedged=%d"
+    Printf.sprintf
+      "s%d=%s(%s) calls=%d served=%d failed=%d rejected=%d hedged=%d/%d"
       h.h_id
       (if h.h_ok then "ok" else "degraded")
-      h.h_breaker h.h_calls h.h_served h.h_failed h.h_rejected h.h_hedged
+      h.h_breaker h.h_calls h.h_served h.h_failed h.h_rejected h.h_hedge_wins
+      h.h_hedged
   in
   Printf.sprintf "%s shards=%d migrated=%d %s" overall (List.length hs)
     (Router.migrated_keys r)
@@ -89,6 +93,12 @@ let metrics r =
       m_samples = per (fun h -> h.h_hedged);
     };
     {
+      m_name = "lf_shard_hedge_wins_total";
+      m_help = "Hedged reads the backend actually served";
+      m_type = "counter";
+      m_samples = per (fun h -> h.h_hedge_wins);
+    };
+    {
       m_name = "lf_shard_degraded";
       m_help = "1 while the shard's breaker is not closed";
       m_type = "gauge";
@@ -106,4 +116,15 @@ let metrics r =
       m_type = "counter";
       m_samples = [ ([], float_of_int (Router.rebalances r)) ];
     };
+    {
+      m_name = "lf_shard_rebalance_drained_keys_total";
+      m_help = "Rebalanced keys that waited for in-flight operations";
+      m_type = "counter";
+      m_samples = [ ([], float_of_int (Router.drained_keys r)) ];
+    };
   ]
+
+let open_breakers r =
+  List.filter_map
+    (fun h -> if h.h_ok then None else Some h.h_id)
+    (of_router r)

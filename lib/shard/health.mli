@@ -11,7 +11,8 @@ type shard_health = {
   h_served : int;
   h_failed : int;
   h_rejected : int;
-  h_hedged : int;
+  h_hedged : int;  (** hedge attempts via the failover read path *)
+  h_hedge_wins : int;  (** of which the backend served the read *)
 }
 
 val of_router : Router.t -> shard_health list
@@ -20,11 +21,18 @@ val of_router : Router.t -> shard_health list
 val line : Router.t -> string
 (** One line: overall status ([ok] iff every shard is ok), shard count,
     keys migrated, then [s<i>=ok(closed)] / [s<i>=degraded(open)] and
-    aggregate counters per shard — stable order, greppable. *)
+    aggregate counters per shard ([hedged=<wins>/<attempts>]) — stable
+    order, greppable. *)
 
 val metrics : Router.t -> Lf_obs.Prom.metric list
 (** [lf_shard_*] counter/gauge blocks labelled [shard="<i>"]: calls,
-    served, failed, rejected (by reason), hedged reads, a degraded 0/1
-    gauge, and the router's migrated-key and rebalance totals.
-    Renders through {!Lf_obs.Prom.render_metrics}; the concatenation
-    with {!Lf_obs.Prom.snapshot} passes {!Lf_obs.Prom.validate}. *)
+    served, failed, rejected (by reason), hedged reads (attempts and
+    wins), a degraded 0/1 gauge, and the router's migrated-key,
+    rebalance, and drained-key totals.  Renders through
+    {!Lf_obs.Prom.render_metrics}; the concatenation with
+    {!Lf_obs.Prom.snapshot} passes {!Lf_obs.Prom.validate}. *)
+
+val open_breakers : Router.t -> int list
+(** Ids of shards whose breaker is currently not closed, ascending —
+    the flight recorder's breaker-open anomaly trigger diffs this
+    between polls. *)

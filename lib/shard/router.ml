@@ -15,6 +15,7 @@
    happens inside the same critical section that performed the copy. *)
 
 module Svc = Lf_svc.Svc
+module Span = Lf_obs.Span
 
 type backend = {
   insert : int -> int -> bool;
@@ -27,7 +28,8 @@ type shard = {
   id : int;
   svc : Svc.t;
   backend : backend;
-  mutable hedged : int;  (* guarded by the router mutex *)
+  mutable hedged : int;  (* hedge attempts; guarded by the router mutex *)
+  mutable hedge_wins : int;  (* of which served the read; same guard *)
 }
 
 type migration = {
@@ -47,9 +49,17 @@ let journal_log : string list ref = ref []
 
 let journal_limit = 64
 
-let note fmt =
+(* Every entry is stamped [#<seq> t=<tick>]: the sequence number is
+   process-wide and monotonic, the tick is the owning router's clock, so
+   journal lines join against span dumps during incident
+   reconstruction. *)
+let journal_seq = ref 0
+
+let note ~now fmt =
   Printf.ksprintf
     (fun line ->
+      incr journal_seq;
+      let line = Printf.sprintf "#%d t=%d %s" !journal_seq now line in
       let keep = journal_limit - 1 in
       let rec take n = function
         | x :: rest when n > 0 -> x :: take (n - 1) rest
@@ -63,6 +73,8 @@ let journal () = List.rev !journal_log
 type t = {
   mutable ring : Hash_ring.t;
   shards : shard array;
+  names : string array;  (* fan-out span names, precomputed per shard *)
+  clock : Lf_svc.Clock.t;  (* shard 0's pipeline clock: span/journal ticks *)
   hedge_reads : bool;
   mu : Mutex.t;
   drained : Condition.t;  (* signalled when a key's inflight count drains *)
@@ -70,6 +82,7 @@ type t = {
   mutable migration : migration option;
   mutable migrated : int;
   mutable rebalanced : int;
+  mutable drained_keys : int;  (* rebalance keys that had to wait *)
 }
 
 let ops_of_backend (b : backend) : Svc.ops =
@@ -87,11 +100,13 @@ let create ?(hedge_reads = true) ~ring ~svc_config mk_backend =
           Svc.create ?batched:backend.batched (svc_config i)
             (ops_of_backend backend)
         in
-        { id = i; svc; backend; hedged = 0 })
+        { id = i; svc; backend; hedged = 0; hedge_wins = 0 })
   in
   {
     ring;
     shards;
+    names = Array.init (Array.length shards) (Printf.sprintf "shard%d");
+    clock = Svc.clock shards.(0).svc;
     hedge_reads;
     mu = Mutex.create ();
     drained = Condition.create ();
@@ -99,6 +114,7 @@ let create ?(hedge_reads = true) ~ring ~svc_config mk_backend =
     migration = None;
     migrated = 0;
     rebalanced = 0;
+    drained_keys = 0;
   }
 
 let ring t = t.ring
@@ -145,35 +161,61 @@ let hedgeable = function
   | Svc.Breaker_open | Svc.Queue_full | Svc.Doomed -> true
   | Svc.Expired | Svc.Write_degraded -> false
 
+(* The router's span tick, read only when a context is live so the
+   untraced path never touches the clock. *)
+let now_of t ctx = if Span.active ctx then Lf_svc.Clock.now t.clock else 0
+
 (* Failover read straight at the backend, outside the pipeline: safe
    because searches in the underlying structures are non-blocking and
    write nothing a helper could not have written.  Best effort — if the
    backend itself throws, the original outcome stands. *)
-let hedge t sh k original =
+let hedge t ~ctx sh k original =
   Mutex.lock t.mu;
   sh.hedged <- sh.hedged + 1;
   Mutex.unlock t.mu;
+  let hspan = Span.begin_ ctx ~name:"hedge" ~now:(now_of t ctx) in
+  let finish outcome ~won what =
+    if Span.active hspan then
+      Span.event hspan ~now:(now_of t hspan) (Span.Hedge_outcome what);
+    Span.end_ hspan ~now:(now_of t hspan) ~ok:won;
+    if won then begin
+      Mutex.lock t.mu;
+      sh.hedge_wins <- sh.hedge_wins + 1;
+      Mutex.unlock t.mu
+    end;
+    outcome
+  in
   match sh.backend.find k with
-  | Some _ -> Svc.Served true
-  | None -> Svc.Served false
-  | exception _ -> original
+  | Some _ -> finish (Svc.Served true) ~won:true "served"
+  | None -> finish (Svc.Served false) ~won:true "served"
+  | exception _ -> finish original ~won:false "error"
 
-let maybe_hedge t sh req outcome =
+let maybe_hedge t ~ctx sh req outcome =
   if not (t.hedge_reads && is_read req) then outcome
   else
     match outcome with
-    | Svc.Rejected r when hedgeable r -> hedge t sh (key_of req) outcome
-    | Svc.Failed _ -> hedge t sh (key_of req) outcome
+    | Svc.Rejected r when hedgeable r -> hedge t ~ctx sh (key_of req) outcome
+    | Svc.Failed _ -> hedge t ~ctx sh (key_of req) outcome
     | o -> o
 
-let call t ?deadline ?queue_depth req =
+let outcome_ok = function Svc.Served _ -> true | Svc.Rejected _ | Svc.Failed _ -> false
+
+let call t ?(ctx = Span.nil) ?deadline ?queue_depth req =
   let k = key_of req in
   let s = begin_op t k in
   Fun.protect ~finally:(fun () -> end_op t k) @@ fun () ->
   let sh = t.shards.(s) in
-  maybe_hedge t sh req (Svc.call sh.svc ?deadline ?queue_depth req)
+  (* One fan-out span per shard touched, the shard's pipeline spans
+     nested inside it. *)
+  let fspan = Span.begin_ ctx ~name:t.names.(s) ~now:(now_of t ctx) in
+  let out =
+    maybe_hedge t ~ctx:fspan sh req
+      (Svc.call sh.svc ~ctx:fspan ?deadline ?queue_depth req)
+  in
+  Span.end_ fspan ~now:(now_of t fspan) ~ok:(outcome_ok out);
+  out
 
-let call_many t ?deadline ?queue_depth reqs =
+let call_many t ?(ctx = Span.nil) ?deadline ?queue_depth reqs =
   match reqs with
   | [] -> []
   | _ ->
@@ -194,10 +236,12 @@ let call_many t ?deadline ?queue_depth reqs =
           | [] -> ()
           | idx ->
               let sub = List.map (fun i -> reqs.(i)) idx in
-              let res = Svc.call_many sh.svc ?deadline ?queue_depth sub in
+              let fspan = Span.begin_ ctx ~name:t.names.(s) ~now:(now_of t ctx) in
+              let res = Svc.call_many sh.svc ~ctx:fspan ?deadline ?queue_depth sub in
               List.iter2
-                (fun i o -> out.(i) <- maybe_hedge t sh reqs.(i) o)
-                idx res)
+                (fun i o -> out.(i) <- maybe_hedge t ~ctx:fspan sh reqs.(i) o)
+                idx res;
+              Span.end_ fspan ~now:(now_of t fspan) ~ok:true)
         t.shards;
       Array.to_list out
 
@@ -220,16 +264,37 @@ let rebalance t ~slot ~to_ ~key_range =
   else begin
     let m = { m_slot = slot; m_from = from; m_to = to_; m_watermark = min_int } in
     t.migration <- Some m;
-    note "rebalance slot=%d shard %d -> %d begin" slot from to_;
+    note ~now:(Lf_svc.Clock.now t.clock) "rebalance slot=%d shard %d -> %d begin"
+      slot from to_;
     Mutex.unlock t.mu;
+    (* The drain phases of a rebalance are traced under their own root:
+       when a migration stalls a request, the flight recorder shows a
+       concurrent rebalance tree with a drain span on the same key. *)
+    let rctx = Span.root ~name:"rebalance" ~now:(Lf_svc.Clock.now t.clock) in
+    let ok = ref false in
+    Fun.protect
+      ~finally:(fun () ->
+        Span.end_ rctx ~now:(Lf_svc.Clock.now t.clock) ~ok:!ok)
+    @@ fun () ->
     let src = t.shards.(from).backend and dst = t.shards.(to_).backend in
     let moved = ref 0 in
     for k = 0 to key_range - 1 do
       if Hash_ring.slot_of t.ring k = slot then begin
         Mutex.lock t.mu;
-        while Hashtbl.mem t.inflight k do
-          Condition.wait t.drained t.mu
-        done;
+        if Hashtbl.mem t.inflight k then begin
+          t.drained_keys <- t.drained_keys + 1;
+          let dspan =
+            Span.begin_ rctx ~name:"drain" ~now:(Lf_svc.Clock.now t.clock)
+          in
+          if Span.active dspan then
+            Span.event dspan
+              ~now:(Lf_svc.Clock.now t.clock)
+              (Span.Drain_wait k);
+          while Hashtbl.mem t.inflight k do
+            Condition.wait t.drained t.mu
+          done;
+          Span.end_ dspan ~now:(Lf_svc.Clock.now t.clock) ~ok:true
+        end;
         (* Inflight is zero and the mutex is held: no operation on [k]
            can start or be running, so copy-then-advance is atomic for
            this key.  Bounded retries absorb transient backend faults;
@@ -260,9 +325,11 @@ let rebalance t ~slot ~to_ ~key_range =
     t.migration <- None;
     t.migrated <- t.migrated + !moved;
     t.rebalanced <- t.rebalanced + 1;
-    note "rebalance slot=%d shard %d -> %d end moved=%d" slot from to_ !moved;
+    note ~now:(Lf_svc.Clock.now t.clock)
+      "rebalance slot=%d shard %d -> %d end moved=%d" slot from to_ !moved;
     Condition.broadcast t.drained;
     Mutex.unlock t.mu;
+    ok := true;
     !moved
   end
 
@@ -275,5 +342,17 @@ let hedged t =
   Mutex.unlock t.mu;
   a
 
+let hedge_stats t =
+  Mutex.lock t.mu;
+  let a = Array.map (fun sh -> (sh.hedged, sh.hedge_wins)) t.shards in
+  Mutex.unlock t.mu;
+  a
+
 let migrated_keys t = t.migrated
 let rebalances t = t.rebalanced
+
+let drained_keys t =
+  Mutex.lock t.mu;
+  let n = t.drained_keys in
+  Mutex.unlock t.mu;
+  n

@@ -56,12 +56,23 @@ val route : t -> int -> int
 (** The shard a key's operations go to right now — assignment plus the
     migration watermark while a rebalance is running. *)
 
-val call : t -> ?deadline:Lf_svc.Deadline.t -> ?queue_depth:int -> Svc.req -> Svc.outcome
+val call :
+  t ->
+  ?ctx:Lf_obs.Span.ctx ->
+  ?deadline:Lf_svc.Deadline.t ->
+  ?queue_depth:int ->
+  Svc.req ->
+  Svc.outcome
 (** Route by key, run through that shard's pipeline, hedging rejected
-    or failed reads when enabled. *)
+    or failed reads when enabled.  [ctx] (default {!Lf_obs.Span.nil})
+    is the request's trace context: when active, the router opens one
+    fan-out span per shard touched ([shard<i>]) with the pipeline's
+    decision spans nested inside, plus a [hedge] span (with its
+    outcome event) when the failover path runs. *)
 
 val call_many :
   t ->
+  ?ctx:Lf_obs.Span.ctx ->
   ?deadline:Lf_svc.Deadline.t ->
   ?queue_depth:int ->
   Svc.req list ->
@@ -80,7 +91,9 @@ val rebalance : t -> slot:int -> to_:int -> key_range:int -> int
     the handoff stay linearizable per key.  Copies run on the caller's
     lane through the raw backends (control plane: they bypass the
     pipelines, so a tripped breaker cannot strand keys).  Returns the
-    number of keys moved.
+    number of keys moved.  When tracing is on, the migration runs under
+    its own [rebalance] root span with a [drain] child span (carrying
+    the key) for every key that had to wait for in-flight operations.
     @raise Invalid_argument if a rebalance is already running, or on
     out-of-range arguments. *)
 
@@ -93,12 +106,24 @@ val hedged : t -> int array
 (** Per-shard count of reads served (or attempted) via the failover
     path. *)
 
+val hedge_stats : t -> (int * int) array
+(** Per-shard [(attempts, wins)] for the failover read path: attempts
+    counts every hedge issued, wins those that served the read (the
+    backend answered, found or not). *)
+
 val migrated_keys : t -> int
 (** Total keys moved by completed rebalances. *)
 
 val rebalances : t -> int
 
+val drained_keys : t -> int
+(** Keys whose migration had to wait for in-flight operations to
+    drain, across all completed rebalances. *)
+
 val journal : unit -> string list
 (** The router's process-wide decision journal (rebalance begin/end
-    lines), oldest first, bounded.  Deliberately module-level — see the
-    [no-cross-shard-state] lint waiver. *)
+    lines), oldest first, bounded.  Every entry is stamped
+    [#<seq> t=<tick>] — a process-wide monotonic sequence number plus
+    the router clock's tick — so journal lines join against span dumps.
+    Deliberately module-level — see the [no-cross-shard-state] lint
+    waiver. *)

@@ -4,6 +4,8 @@
    around the wrapped dictionary closures.  Executions happen outside
    the mutex — only decisions are serialized. *)
 
+module Span = Lf_obs.Span
+
 type req = Insert of int * int | Delete of int | Find of int
 
 let req_to_string = function
@@ -136,6 +138,7 @@ let with_mu t f =
   Fun.protect ~finally:(fun () -> Mutex.unlock t.mu) f
 
 let now t = Clock.now t.cfg.clock
+let clock t = t.cfg.clock
 
 (* Callers hold [mu]. *)
 let log_locked t fmt =
@@ -189,12 +192,27 @@ let default_deadline t =
   if t.cfg.deadline = max_int then Deadline.none
   else Deadline.after t.cfg.clock ~ticks:t.cfg.deadline
 
+(* One zero-width child span per pipeline decision, its verdict carried
+   as a typed event (DESIGN.md §14).  Callers guard with [Span.active]
+   so the off path constructs no event payload. *)
+let decide ctx ~tick name ok ev =
+  let s = Span.begin_ ctx ~name ~now:tick in
+  Span.event s ~now:tick ev;
+  Span.end_ s ~now:tick ~ok
+
 (* The admission pipeline: deadline, shed, breaker + degrade.  Returns
-   the execution route or the rejection.  Runs under [mu]. *)
-let admission_locked t ~now:tick ~dl ~queue_depth req =
+   the execution route or the rejection.  Runs under [mu].  Span
+   completion never takes other locks, so tracing under [mu] cannot
+   invert a lock order. *)
+let admission_locked t ~ctx ~now:tick ~dl ~queue_depth req =
   t.n_calls <- t.n_calls + 1;
-  if Deadline.expired ~now:tick dl then `Reject Expired
-  else
+  let traced = Span.active ctx in
+  if Deadline.expired ~now:tick dl then begin
+    if traced then decide ctx ~tick "deadline" false (Span.Deadline_check true);
+    `Reject Expired
+  end
+  else begin
+    if traced then decide ctx ~tick "deadline" true (Span.Deadline_check false);
     let depth = match queue_depth with Some q -> q | None -> t.inflight in
     let shed_verdict =
       match t.shed_st with
@@ -202,27 +220,54 @@ let admission_locked t ~now:tick ~dl ~queue_depth req =
       | Some s -> Shed.admit s ~now:tick ~deadline:dl ~queue_depth:depth
     in
     match shed_verdict with
-    | `Reject_queue -> `Reject Queue_full
-    | `Reject_doomed -> `Reject Doomed
+    | `Reject_queue ->
+        if traced then
+          decide ctx ~tick "shed" false (Span.Shed_verdict "queue-full");
+        `Reject Queue_full
+    | `Reject_doomed ->
+        if traced then
+          decide ctx ~tick "shed" false (Span.Shed_verdict "doomed");
+        `Reject Doomed
     | `Admit -> (
+        if traced && t.shed_st <> None then
+          decide ctx ~tick "shed" true (Span.Shed_verdict "admit");
         match t.breaker_st with
         | None -> `Execute Via_primary
         | Some b -> (
             let b', verdict = Breaker.admit b ~now:tick in
             set_breaker_locked t ~now:tick b';
             match verdict with
-            | `Admit -> `Execute Via_primary
+            | `Admit ->
+                if traced then
+                  decide ctx ~tick "breaker" true (Span.Breaker_verdict "admit");
+                `Execute Via_primary
             | `Probe -> (
+                if traced then
+                  decide ctx ~tick "breaker" true (Span.Breaker_verdict "probe");
                 match mode_locked t with
                 | Degrade.No_hints when t.fallback <> None ->
+                    if traced then
+                      decide ctx ~tick "degrade" true
+                        (Span.Degrade_mode "no-hints");
                     `Execute Via_fallback
                 | _ -> `Execute Via_primary)
             | `Reject -> (
+                if traced then
+                  decide ctx ~tick "breaker" false
+                    (Span.Breaker_verdict "reject");
                 match mode_locked t with
                 | Degrade.Read_only when not (is_write req) ->
+                    if traced then
+                      decide ctx ~tick "degrade" true
+                        (Span.Degrade_mode "read-only");
                     `Execute Via_degraded_read
-                | Degrade.Read_only -> `Reject Write_degraded
+                | Degrade.Read_only ->
+                    if traced then
+                      decide ctx ~tick "degrade" false
+                        (Span.Degrade_mode "read-only");
+                    `Reject Write_degraded
                 | _ -> `Reject Breaker_open)))
+  end
 
 let reject t ~now:tick r req =
   with_mu t (fun () ->
@@ -268,24 +313,39 @@ let failed t ~tick req msg =
       log_locked t "t=%d failed %s: %s" tick (req_to_string req) msg);
   Failed msg
 
+(* Execute one attempt with its span registered as the lane's current
+   context, so the recorder's hooks (failed C&S, structure-op spans)
+   attribute into it.  The closure only exists on the traced path —
+   the off path must not allocate. *)
+let run_attempt t aspan route req =
+  if Span.active aspan then
+    Span.with_current aspan (fun () -> exec_once t route req)
+  else exec_once t route req
+
 (* The retry loop.  Each attempt re-checks the deadline first, so an
    admitted operation never starts executing past its deadline (the
    shedding invariant test_svc asserts); each retry must win a token
    from the budget before it may run. *)
-let rec attempt_loop t route req ~dl ~attempt =
+let rec attempt_loop t ctx route req ~dl ~attempt =
   let t0 = now t in
-  if Deadline.expired ~now:t0 dl then
+  if Deadline.expired ~now:t0 dl then begin
+    if Span.active ctx then
+      decide ctx ~tick:t0 "deadline" false (Span.Deadline_check true);
     if attempt = 1 then
       (* Never executed: a pure rejection, not a failure. *)
       reject t ~now:t0 Expired req
     else failed t ~tick:t0 req (Printf.sprintf "deadline after %d attempts" (attempt - 1))
+  end
   else
-    match exec_once t route req with
+    let aspan = Span.begin_ ctx ~name:"attempt" ~now:t0 in
+    match run_attempt t aspan route req with
     | ok ->
         let t1 = now t in
+        Span.end_ aspan ~now:t1 ~ok:true;
         served t ~route ~ok ~latency:(t1 - t0) ~tick:t1 req
     | exception e ->
         let t1 = now t in
+        Span.end_ aspan ~now:t1 ~ok:false;
         with_mu t (fun () -> observe_locked t ~now:t1 ~ok:false ~latency:(t1 - t0));
         let msg = Printexc.to_string e in
         let single_shot = route = Via_degraded_read in
@@ -306,19 +366,26 @@ let rec attempt_loop t route req ~dl ~attempt =
           with_mu t (fun () ->
               log_locked t "t=%d retry %s attempt=%d delay=%d" t1
                 (req_to_string req) (attempt + 1) d);
+          if Span.active ctx then
+            Span.event ctx ~now:t1
+              (Span.Retry_wait { attempt = attempt + 1; delay = d });
+          let wspan = Span.begin_ ctx ~name:"retry-wait" ~now:t1 in
           t.cfg.backoff d;
-          attempt_loop t route req ~dl ~attempt:(attempt + 1)
+          Span.end_ wspan ~now:(now t) ~ok:true;
+          attempt_loop t ctx route req ~dl ~attempt:(attempt + 1)
         end
-        else
+        else begin
+          if Span.active ctx then Span.event ctx ~now:t1 Span.Budget_denied;
           failed t ~tick:t1 req
             (Printf.sprintf "%s (retry budget exhausted after attempt %d)" msg
                attempt)
+        end
 
-let call t ?deadline ?queue_depth req =
+let call t ?(ctx = Span.nil) ?deadline ?queue_depth req =
   let tick = now t in
   let dl = match deadline with Some d -> d | None -> default_deadline t in
   let decision =
-    with_mu t (fun () -> admission_locked t ~now:tick ~dl ~queue_depth req)
+    with_mu t (fun () -> admission_locked t ~ctx ~now:tick ~dl ~queue_depth req)
   in
   match decision with
   | `Reject r -> reject t ~now:tick r req
@@ -332,12 +399,12 @@ let call t ?deadline ?queue_depth req =
             | Via_degraded_read -> " (read-only)"));
       Fun.protect
         ~finally:(fun () -> with_mu t (fun () -> t.inflight <- t.inflight - 1))
-        (fun () -> attempt_loop t route req ~dl ~attempt:1)
+        (fun () -> attempt_loop t ctx route req ~dl ~attempt:1)
 
 (* Coalesced path: per-element admission, then one pass through the
    batched entry points (single attempt — a batch is not retried; its
    failures surface per element as [Failed]). *)
-let call_many t ?deadline ?queue_depth reqs =
+let call_many t ?(ctx = Span.nil) ?deadline ?queue_depth reqs =
   let use_batched =
     match t.batched with
     | None -> false
@@ -345,7 +412,7 @@ let call_many t ?deadline ?queue_depth reqs =
         List.length reqs >= t.cfg.coalesce_min || mode t = Degrade.Coalesce
   in
   if not use_batched then
-    List.map (fun r -> call t ?deadline ?queue_depth r) reqs
+    List.map (fun r -> call t ~ctx ?deadline ?queue_depth r) reqs
   else begin
     let b = Option.get t.batched in
     let tick = now t in
@@ -355,7 +422,7 @@ let call_many t ?deadline ?queue_depth reqs =
         (fun r ->
           let d =
             with_mu t (fun () ->
-                admission_locked t ~now:tick ~dl ~queue_depth r)
+                admission_locked t ~ctx ~now:tick ~dl ~queue_depth r)
           in
           match d with
           | `Reject reason -> `Rejected (reject t ~now:tick reason r)
@@ -386,10 +453,15 @@ let call_many t ?deadline ?queue_depth reqs =
               let msg = Printexc.to_string e in
               List.iter (fun i -> results.(i) <- Some (Error msg)) slots)
     in
-    run_batch !ins b.insert_batch;
-    run_batch !del b.delete_batch;
-    run_batch !fnd b.find_batch;
+    let bspan = Span.begin_ ctx ~name:"batch-exec" ~now:t0 in
+    let run () =
+      run_batch !ins b.insert_batch;
+      run_batch !del b.delete_batch;
+      run_batch !fnd b.find_batch
+    in
+    if Span.active bspan then Span.with_current bspan run else run ();
     let t1 = now t in
+    Span.end_ bspan ~now:t1 ~ok:true;
     let admitted = List.length !ins + List.length !del + List.length !fnd in
     let per_op_latency = if admitted = 0 then 0 else (t1 - t0) / admitted in
     List.mapi

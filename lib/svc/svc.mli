@@ -97,19 +97,37 @@ val create : ?fallback:ops -> ?batched:batched_ops -> config -> ops -> t
 (** [fallback] is the hints-off instance used by {!Degrade.No_hints};
     [batched] enables the {!Degrade.Coalesce} path in {!call_many}. *)
 
-val call : t -> ?deadline:Deadline.t -> ?queue_depth:int -> req -> outcome
+val call :
+  t ->
+  ?ctx:Lf_obs.Span.ctx ->
+  ?deadline:Deadline.t ->
+  ?queue_depth:int ->
+  req ->
+  outcome
 (** One request through the pipeline.  [deadline] defaults to
     [config.deadline] from now; [queue_depth] (for the shed stage)
     defaults to the service's in-flight count — transports with a real
-    queue pass its length. *)
+    queue pass its length.  [ctx] (default {!Lf_obs.Span.nil}) is the
+    request's trace context: when active, the pipeline opens one child
+    span per decision (deadline, shed, breaker, degrade), one per
+    attempt and retry wait, and registers the executing attempt so the
+    recorder attributes failed C&S and structure-op spans into it. *)
 
 val call_many :
-  t -> ?deadline:Deadline.t -> ?queue_depth:int -> req list -> outcome list
+  t ->
+  ?ctx:Lf_obs.Span.ctx ->
+  ?deadline:Deadline.t ->
+  ?queue_depth:int ->
+  req list ->
+  outcome list
 (** Admission per element; admitted elements execute through the
     batched entry points when available and the batch is
     [coalesce_min]-long or the degrade mode is {!Degrade.Coalesce}
     (single-attempt, no retries), else one by one via {!call}.
     Results in input order. *)
+
+val clock : t -> Clock.t
+(** The pipeline's clock seam (layers above read ticks through it). *)
 
 val mode : t -> Degrade.mode
 (** Current degraded mode (from the breaker state; {!Degrade.Normal}

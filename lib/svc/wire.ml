@@ -4,6 +4,8 @@ type command =
   | Kill of int
   | Health
   | Metrics
+  | Slo
+  | Flightdump
   | Quit
   | Shutdown
 
@@ -74,6 +76,8 @@ let parse line =
       | "KILL", [ s ] -> Result.map (fun s -> Kill s) (int_arg "shard" s)
       | "HEALTH", [] -> Ok Health
       | "METRICS", [] -> Ok Metrics
+      | "SLO", [] -> Ok Slo
+      | "FLIGHTDUMP", [] -> Ok Flightdump
       | "QUIT", [] -> Ok Quit
       | "SHUTDOWN", [] -> Ok Shutdown
       | v, _ -> Error (Printf.sprintf "bad command %S" v))

@@ -13,6 +13,8 @@
     KILL <shard>          chaos: make one shard's backend fail (demo)
     HEALTH                one-line liveness/readiness summary
     METRICS               Prometheus-format snapshot, terminated by END
+    SLO                   one-line multi-window burn-rate summary
+    FLIGHTDUMP            dump the flight recorder; answers OK <path>
     QUIT                  close this connection
     SHUTDOWN              stop the server
     v}
@@ -36,6 +38,8 @@ type command =
   | Kill of int  (** chaos verb for the multi-shard demo server *)
   | Health
   | Metrics
+  | Slo  (** burn-rate summary ([SLO ...] line, or [ERR] untracked) *)
+  | Flightdump  (** dump the span flight recorder to the dump dir *)
   | Quit
   | Shutdown
 

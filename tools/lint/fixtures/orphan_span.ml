@@ -1,0 +1,34 @@
+(* Fixture for [no-orphan-span]: a binding that opens a span must also
+   close one (or hand closing to [Fun.protect ~finally]); an unclosed
+   span never completes and the flight recorder drops its request. *)
+
+(* Opened, never closed: flagged. *)
+let orphan_child ctx now = (* EXPECT: no-orphan-span *)
+  let span = Span.begin_ ctx ~name:"work" ~now in
+  work span
+
+(* A leaked root is just as bad: flagged. *)
+let orphan_root serve = (* EXPECT: no-orphan-span *)
+  let ctx = Span.root ~name:"request" ~now:0 in
+  serve ctx
+
+(* Closed on the straight-line path: clean (exit-path coverage is the
+   trace tests' job, the lint only demands a close exists). *)
+let balanced ctx now work =
+  let span = Span.begin_ ctx ~name:"work" ~now in
+  let r = work span in
+  Span.end_ span ~now ~ok:true;
+  r
+
+(* Closing from a Fun.protect finally counts as a close. *)
+let protected ctx now finish work =
+  let span = Span.begin_ ctx ~name:"work" ~now in
+  Fun.protect ~finally:(fun () -> finish span) @@ fun () -> work span
+
+(* Qualified opens are seen too. *)
+let orphan_qualified ctx now = (* EXPECT: no-orphan-span *)
+  let span = Obs.Span.begin_ ctx ~name:"work" ~now in
+  ignore span
+
+(* No span traffic at all: clean. *)
+let unrelated x = x + 1

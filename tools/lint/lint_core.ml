@@ -1,7 +1,7 @@
 (* Source-level concurrency lint over the compiler-libs parsetree.
 
-   Ten rules, each motivated by a class of bug that type-checks fine but
-   breaks the lock-free structures at runtime:
+   Eleven rules, each motivated by a class of bug that type-checks fine
+   but breaks the lock-free structures at runtime:
 
    - [no-raw-atomic]: every shared cell must go through the [Lf_kernel.Mem.S]
      seam.  A raw [Atomic.t] outside [lib/kernel/] is invisible to
@@ -79,6 +79,13 @@
      (not ones deferred under a function, which are per-instance); the
      router's bounded decision journal is the one reviewed waiver.
 
+   - [no-orphan-span]: in the traced layers ([lib/svc/], [lib/shard/])
+     a binding that opens a request span ([Span.begin_] / [Span.root])
+     must also close one ([Span.end_], or a [Fun.protect] whose finally
+     does).  The flight recorder only retains COMPLETED roots, so a
+     span leaked on an exception path drops exactly the anomalous
+     request the recorder exists to capture.
+
    The rules are path-scoped and a small waiver table exempts known-benign
    files, each with a reason that is printed if the waiver is ever reported. *)
 
@@ -94,6 +101,7 @@ let rule_unbounded_retry = "no-unbounded-retry"
 let rule_bare_atomic = "no-bare-atomic"
 let rule_hot_alloc = "no-hot-alloc"
 let rule_cross_shard = "no-cross-shard-state"
+let rule_orphan_span = "no-orphan-span"
 let rule_parse_error = "parse-error"
 
 (* Directories where shared cells are allowed to be raw atomics: the kernel
@@ -143,6 +151,13 @@ let hot_alloc_scope_prefixes =
    by every shard and every router in the process) is a containment
    bug unless deliberately waivered. *)
 let cross_shard_scope_prefixes = [ "lib/shard/" ]
+
+(* The layers that open request spans: an unclosed span never reaches the
+   flight recorder's ring (only completed roots are retained), so a leak
+   silently drops exactly the anomalous requests the recorder exists to
+   capture.  Syntactic, at binding granularity: a binding that opens must
+   also close (or delegate closing to [Fun.protect ~finally]). *)
+let orphan_span_scope_prefixes = [ "lib/svc/"; "lib/shard/" ]
 
 (* file, rule, reason.  Waivers are deliberate, reviewed exceptions. *)
 let waivers =
@@ -214,6 +229,11 @@ let waivers =
       rule_raw_dls,
       "per-domain recording state: the recorder is the observer, not a \
        structure; DLS is what keeps its hot path free of synchronization" );
+    ( "lib/obs/span.ml",
+      rule_raw_dls,
+      "per-domain span state (id counters, flight ring, current-span \
+       table): the tracer is the observer, not a structure; DLS keeps \
+       span begin/end synchronization-free on the request hot path" );
     ( "bench/exp19.ml",
       rule_raw_atomic,
       "start barrier for benchmark domains; harness synchronization" );
@@ -264,6 +284,8 @@ let rule_active ~all path rule =
        has_prefix path hot_alloc_scope_prefixes
      else if String.equal rule rule_cross_shard then
        has_prefix path cross_shard_scope_prefixes
+     else if String.equal rule rule_orphan_span then
+       has_prefix path orphan_span_scope_prefixes
      else true
 
 open Parsetree
@@ -522,6 +544,43 @@ let iter_module_init_allocs f (e : Parsetree.expression) =
   in
   it.expr it e
 
+(* no-orphan-span: a span open is a [Span.begin_] or [Span.root]
+   application; a close is a [Span.end_] or a [Fun.protect] (whose
+   [~finally] is where the close lives in the early-exit-heavy
+   bindings).  Like [no-unbounded-retry], the check is syntactic and
+   binding-granular by design: it keeps the author honest about pairing
+   opens with closes on every exit path, while the trace tests check
+   the semantics (well-formed trees, completed roots). *)
+let lid_is_span_open lid =
+  match List.rev (lid_components lid) with
+  | op :: "Span" :: _ -> String.equal op "begin_" || String.equal op "root"
+  | _ -> false
+
+let lid_is_span_close lid =
+  match List.rev (lid_components lid) with
+  | "end_" :: "Span" :: _ -> true
+  | "protect" :: "Fun" :: _ -> true
+  | _ -> false
+
+let opens_span =
+  expr_contains (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } -> lid_is_span_open txt
+      | _ -> false)
+
+let closes_span =
+  expr_contains (fun e ->
+      match e.pexp_desc with
+      | Pexp_ident { txt; _ } -> lid_is_span_close txt
+      | _ -> false)
+
+let orphan_span_msg =
+  "span opened without a close in the same binding: pair every \
+   Span.begin_/Span.root with a Span.end_ on all exit paths (or close \
+   from Fun.protect ~finally) — an unclosed span never completes, so \
+   the flight recorder silently drops exactly the request it was \
+   tracing"
+
 let compare_lr (l1, r1) (l2, r2) =
   match Int.compare l1 l2 with 0 -> String.compare r1 r2 | c -> c
 
@@ -608,9 +667,16 @@ let check_file ~all path =
       structure_item =
         (fun it si ->
           (match si.pstr_desc with
-          | Pstr_value (Recursive, vbs) ->
-              check_retry_bindings vbs;
-              check_hot_alloc_bindings vbs
+          | Pstr_value (rf, vbs) ->
+              if rf = Recursive then begin
+                check_retry_bindings vbs;
+                check_hot_alloc_bindings vbs
+              end;
+              List.iter
+                (fun (vb : value_binding) ->
+                  if opens_span vb.pvb_expr && not (closes_span vb.pvb_expr)
+                  then report vb.pvb_loc rule_orphan_span orphan_span_msg)
+                vbs
           | _ -> ());
           default.structure_item it si);
       expr =
