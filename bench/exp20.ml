@@ -100,7 +100,7 @@ let run_once ~svc ~clock ~enforce ~rate ~seed =
     in
     let dl = if enforce then Deadline.at (arrival_ns + std) else Deadline.none in
     match Svc.call svc ~deadline:dl ~queue_depth req with
-    | Svc.Served ok ->
+    | Svc.Served ok | Svc.Served_stale (ok, _) ->
         if Clock.now clock - arrival_ns <= std then Atomic.incr good;
         `Served ok
     | Svc.Rejected _ -> `Rejected
@@ -340,7 +340,7 @@ let part_d ~clock =
     List.iter
       (fun req ->
         match call req with
-        | Svc.Served _ -> incr served
+        | Svc.Served _ | Svc.Served_stale _ -> incr served
         | Svc.Rejected _ -> incr rejected
         | Svc.Failed _ -> incr failed)
       reqs;

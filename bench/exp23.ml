@@ -70,7 +70,7 @@ let prefill_partition ~key_range ~ring ~shard insert =
   done
 
 let verdict_of = function
-  | Svc.Served ok -> `Served ok
+  | Svc.Served ok | Svc.Served_stale (ok, _) -> `Served ok
   | Svc.Rejected _ -> `Rejected
   | Svc.Failed _ -> `Failed
 
@@ -269,7 +269,7 @@ let run_b ~clock ~contained ~scenario =
       if contained then Deadline.at (arrival_ns + std) else Deadline.none
     in
     match Router.call router ~deadline:dl ~queue_depth (req_of_op op) with
-    | Svc.Served ok ->
+    | Svc.Served ok | Svc.Served_stale (ok, _) ->
         if Clock.now clock - arrival_ns <= std then Atomic.incr good.(s);
         `Served ok
     | Svc.Rejected _ -> `Rejected

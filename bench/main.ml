@@ -43,6 +43,8 @@ let experiments : (string * string * (unit -> unit)) list =
       ignore (Exp23.run ()));
     ("exp24", "request tracing: overhead + tail attribution + flight recorder",
       fun () -> ignore (Exp24.run ()));
+    ("exp25", "self-healing shards: time-to-recovery + staleness",
+      fun () -> ignore (Exp25.run ()));
     ("micro", "bechamel per-op latency", fun () -> Bechamel_suite.run ());
   ]
 

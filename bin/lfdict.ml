@@ -795,9 +795,47 @@ let dump_dir_arg =
     & info [ "dump-dir" ] ~docv:"DIR"
         ~doc:"Directory for flight-recorder dump bundles.")
 
+let self_heal_flag =
+  Arg.(
+    value & flag
+    & info [ "self-heal" ]
+        ~doc:
+          "Run the shard supervisor: watch per-shard health (breaker \
+           state, shed rate, SLO fast burn) and evacuate slots off a \
+           persistently-sick shard automatically — promoting the slot's \
+           replica when one exists (--replicas), else copying to the \
+           least-loaded healthy shard.  Hysteresis, per-tick move \
+           budgets and exponential backoff keep healing from becoming a \
+           migration storm.  HEAL reports supervisor status; heal \
+           begin/end drop flight bundles under --trace-requests.  \
+           Requires --shards > 1.")
+
+let replicas_flag =
+  Arg.(
+    value & flag
+    & info [ "replicas" ]
+        ~doc:
+          "Keep a lagged copy of every slot on the next shard over, fed \
+           from an async apply journal.  Reads whose shard is dead (not \
+           merely tripped) fail over to the copy and answer STALE <bool> \
+           lag=<ticks> — staleness is always explicit on the wire, never \
+           a silent OK.  REPLICAS reports per-slot lag; the supervisor \
+           (--self-heal) promotes a replica when it evacuates the \
+           primary.  Requires --shards > 1.")
+
+let key_range_arg =
+  Arg.(
+    value & opt int 4096
+    & info [ "key-range" ] ~docv:"N"
+        ~doc:
+          "Keyspace bound scanned by healing migrations: an evacuation \
+           moves the keys in [0, $(docv)) that hash to the slot (same \
+           contract as Router.rebalance).  Keys outside the bound are \
+           still served and replicated, but not migrated.")
+
 let serve_cmd =
   let run impl port deadline_ms retry budget shed breaker shards trace_requests
-      dump_dir =
+      dump_dir self_heal replicas key_range =
     Lf_obs.Recorder.set_level Lf_obs.Recorder.Off;
     Lf_obs.Recorder.reset ();
     Lf_obs.Recorder.set_clock Lf_obs.Recorder.Real;
@@ -856,7 +894,12 @@ let serve_cmd =
        victim's breaker trips and HEALTH turns "s<i>=degraded" while
        the other shards keep answering.  The accept loop is
        sequential, so plain bool switches suffice. *)
-    let op_h, multi_h, health_h, metrics_h, kill_h, open_now =
+    if (self_heal || replicas) && shards <= 1 then begin
+      prerr_endline "lfdict serve: --self-heal/--replicas need --shards > 1";
+      exit 2
+    end;
+    let op_h, multi_h, health_h, metrics_h, kill_h, newly_open_h, replicas_h,
+        heal_h, tick_raw =
       if shards <= 1 then
         let svc = Lf_svc.Svc.create cfg (svc_ops (module D)) in
         ( (fun ctx req -> Lf_svc.Svc.call svc ~ctx req),
@@ -864,10 +907,21 @@ let serve_cmd =
           (fun () -> Lf_svc.Wire.health_line (Lf_svc.Svc.stats svc)),
           (fun () -> Lf_obs.Prom.snapshot ()),
           (fun _ -> Lf_svc.Wire.format_error "no shards (serve with --shards)"),
-          fun () ->
-            match (Lf_svc.Svc.stats svc).breaker with
-            | Some b when b <> "closed" -> [ 0 ]
-            | Some _ | None -> [] )
+          (let prev = ref false in
+           fun () ->
+             let open_ =
+               match (Lf_svc.Svc.stats svc).breaker with
+               | Some b when b <> "closed" -> true
+               | Some _ | None -> false
+             in
+             let fresh = open_ && not !prev in
+             prev := open_;
+             if fresh then [ 0 ] else []),
+          (fun () ->
+            Lf_svc.Wire.format_error "no replicas (serve with --replicas)"),
+          (fun () ->
+            Lf_svc.Wire.format_error "no supervisor (serve with --self-heal)"),
+          fun () -> [] )
       else begin
         let kills = Array.make shards false in
         let mk_backend i : Lf_shard.Router.backend =
@@ -902,6 +956,41 @@ let serve_cmd =
         let router =
           Lf_shard.Router.create ~ring ~svc_config:(fun _ -> cfg) mk_backend
         in
+        (* Replicas: every slot's copy lives one shard over, in a store
+           private to the replica layer (never a shard backend), fed
+           asynchronously from the write journal on the supervisor's
+           tick. *)
+        let reps =
+          if not replicas then None
+          else begin
+            let r = Lf_shard.Replica.create () in
+            for slot = 0 to shards - 1 do
+              let copy = D.create () in
+              Lf_shard.Replica.add_slot r ~slot
+                ~on:((Lf_shard.Hash_ring.owner ring slot + 1) mod shards)
+                ~store:
+                  {
+                    Lf_shard.Replica.r_insert = (fun k v -> D.insert copy k v);
+                    r_delete = (fun k -> D.delete copy k);
+                    r_find = (fun k -> D.find copy k);
+                  }
+            done;
+            Lf_shard.Router.attach_replicas router r;
+            Some r
+          end
+        in
+        let sup =
+          if not self_heal then None
+          else
+            Some
+              (Lf_shard.Supervisor.create
+                 (Lf_shard.Supervisor.config ~clock ~poll_every:(ms 100)
+                    ~sick_after:2 ~healthy_after:2 ~move_budget:2
+                    ~backoff_base:(ms 200) ~backoff_max:(ms 2000)
+                    ~apply_budget:1024 ~key_range ())
+                 ~shards)
+        in
+        let mon = Lf_shard.Health.monitor () in
         ( (fun ctx req -> Lf_shard.Router.call router ~ctx req),
           (fun ctx reqs -> Lf_shard.Router.call_many router ~ctx reqs),
           (fun () -> Lf_shard.Health.line router),
@@ -928,9 +1017,48 @@ let serve_cmd =
             if s < 0 || s >= shards then Lf_svc.Wire.format_error "bad shard"
             else begin
               kills.(s) <- true;
+              (* The kill's own bundle names this shard; pre-marking the
+                 monitor keeps the inevitable breaker trip from firing a
+                 second, breaker-open bundle for the same incident. *)
+              Lf_shard.Health.mark_open mon s;
               "OK true"
             end),
-          fun () -> Lf_shard.Health.open_breakers router )
+          (fun () -> Lf_shard.Health.newly_open mon router),
+          (fun () ->
+            match reps with
+            | None ->
+                Lf_svc.Wire.format_error "no replicas (serve with --replicas)"
+            | Some r ->
+                let rs = Lf_shard.Replica.stats r ~now:(now ()) in
+                Printf.sprintf "REPLICAS n=%d%s" (List.length rs)
+                  (String.concat ""
+                     (List.map
+                        (fun (s : Lf_shard.Replica.slot_stats) ->
+                          Printf.sprintf
+                            " slot=%d on=%d lag=%d pending=%d applied=%d"
+                            s.Lf_shard.Replica.s_slot s.Lf_shard.Replica.s_on
+                            s.Lf_shard.Replica.s_lag
+                            s.Lf_shard.Replica.s_pending
+                            s.Lf_shard.Replica.s_applied)
+                        rs))),
+          (fun () ->
+            match sup with
+            | None ->
+                Lf_svc.Wire.format_error "no supervisor (serve with --self-heal)"
+            | Some sup -> Lf_shard.Supervisor.line sup),
+          fun () ->
+            match sup with
+            | Some sup ->
+                let fast_burn = Lf_obs.Slo.fast_burn slo ~now:(now ()) in
+                ignore (Lf_shard.Supervisor.run_tick ~fast_burn sup router);
+                Lf_shard.Supervisor.events sup
+            | None ->
+                (* Replication without a supervisor still needs its
+                   async applier: a bounded slice per request. *)
+                (match reps with
+                | Some r -> ignore (Lf_shard.Replica.apply ~budget:256 r)
+                | None -> ());
+                [] )
       end
     in
     (* Flight-recorder anomaly triggers.  The dump is a serialization of
@@ -942,14 +1070,14 @@ let serve_cmd =
         Printf.printf "lfdict serve: flight dump %s (%s)\n%!" path reason
       end
     in
-    let prev_open = ref [] and burning = ref false in
+    let burning = ref false in
     let check_anomalies () =
       if trace_requests then begin
-        let opened = open_now () in
-        let newly =
-          List.filter (fun i -> not (List.mem i !prev_open)) opened
-        in
-        prev_open := opened;
+        (* The monitor caches the last open-breaker snapshot, so a KILL
+           (which pre-marks its victim and dumps its own bundle) followed
+           immediately by FLIGHTDUMP or traffic cannot double-fire a
+           breaker-open bundle for the same opening. *)
+        let newly = newly_open_h () in
         if newly <> [] then
           dump "breaker-open"
             [
@@ -961,8 +1089,40 @@ let serve_cmd =
         burning := fb
       end
     in
+    (* The supervisor rides the request path: every wire line gives it a
+       chance to poll — the poll_every gate (Clock ticks, never sleeps)
+       makes the extra calls free — and its heal begin/end events become
+       flight bundles. *)
+    let sup_tick () =
+      List.iter
+        (function
+          | Lf_shard.Supervisor.Heal_begun { e_shard; e_slot; e_to; e_via } ->
+              dump "heal-begin"
+                [
+                  ("shard", string_of_int e_shard);
+                  ("slot", string_of_int e_slot);
+                  ("to", string_of_int e_to);
+                  ( "via",
+                    match e_via with
+                    | Lf_shard.Supervisor.Copy -> "copy"
+                    | Lf_shard.Supervisor.Promote -> "promote" );
+                ]
+          | Lf_shard.Supervisor.Heal_ended { e_shard; e_slot; e_ok; e_moved }
+            ->
+              dump "heal-end"
+                [
+                  ("shard", string_of_int e_shard);
+                  ("slot", string_of_int e_slot);
+                  ("ok", string_of_bool e_ok);
+                  ("moved", string_of_int e_moved);
+                ])
+        (tick_raw ())
+    in
+    (* A stale answer is still an answered read: the SLO counts served,
+       fresh or lag-tagged — the staleness contract is the wire token's
+       job, the burn rate's job is "did we answer". *)
     let good = function
-      | Lf_svc.Svc.Served _ -> true
+      | Lf_svc.Svc.Served _ | Lf_svc.Svc.Served_stale _ -> true
       | Lf_svc.Svc.Rejected _ | Lf_svc.Svc.Failed _ -> false
     in
     (* One root span per wire request; ended ok iff every outcome was
@@ -996,6 +1156,7 @@ let serve_cmd =
            match input_line ic with
            | exception End_of_file -> quit := true
            | line ->
+               sup_tick ();
                (match Lf_svc.Wire.parse line with
                | Error e ->
                    output_string oc (Lf_svc.Wire.format_error e);
@@ -1027,6 +1188,12 @@ let serve_cmd =
                | Ok Lf_svc.Wire.Slo ->
                    output_string oc (Lf_obs.Slo.line slo ~now:(now ()));
                    output_char oc '\n'
+               | Ok Lf_svc.Wire.Replicas ->
+                   output_string oc (replicas_h ());
+                   output_char oc '\n'
+               | Ok Lf_svc.Wire.Heal ->
+                   output_string oc (heal_h ());
+                   output_char oc '\n'
                | Ok Lf_svc.Wire.Flightdump ->
                    (if not trace_requests then
                       output_string oc
@@ -1057,13 +1224,17 @@ let serve_cmd =
           shedding, circuit breaking), optionally sharded behind a \
           consistent-hash router (--shards), with optional end-to-end \
           request tracing, SLO burn tracking and an anomaly-triggered \
-          flight recorder (--trace-requests).  Protocol: PUT k v / DEL k / \
-          GET k / MGET k.. / MSET k v.. / KILL i / HEALTH / METRICS / \
-          SLO / FLIGHTDUMP / QUIT / SHUTDOWN, one per line.")
+          flight recorder (--trace-requests), lagged read replicas with \
+          an explicit staleness contract (--replicas), and a \
+          self-healing shard supervisor (--self-heal).  Protocol: PUT k \
+          v / DEL k / GET k / MGET k.. / MSET k v.. / KILL i / HEALTH / \
+          METRICS / SLO / REPLICAS / HEAL / FLIGHTDUMP / QUIT / \
+          SHUTDOWN, one per line.")
     Term.(
       const run $ impl_arg $ port_arg $ deadline_ms_arg $ retry_arg
       $ retry_budget_arg $ shed_arg $ breaker_flag $ shards_arg
-      $ trace_requests_flag $ dump_dir_arg)
+      $ trace_requests_flag $ dump_dir_arg $ self_heal_flag $ replicas_flag
+      $ key_range_arg)
 
 let call_cmd =
   let lines_arg =

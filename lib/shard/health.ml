@@ -5,6 +5,7 @@ type shard_health = {
   h_ok : bool;
   h_breaker : string;
   h_mode : string;
+  h_slots : int;
   h_calls : int;
   h_served : int;
   h_failed : int;
@@ -14,7 +15,9 @@ type shard_health = {
 }
 
 let of_router r =
-  let stats = Router.stats r and hedged = Router.hedge_stats r in
+  let stats = Router.stats r
+  and hedged = Router.hedge_stats r
+  and slots = Router.slots_of_shard r in
   Array.to_list
     (Array.mapi
        (fun i (s : Svc.stats) ->
@@ -24,6 +27,7 @@ let of_router r =
            h_ok = ok;
            h_breaker = Option.value s.breaker ~default:"none";
            h_mode = s.mode;
+           h_slots = slots.(i);
            h_calls = s.calls;
            h_served = s.served;
            h_failed = s.failed;
@@ -33,16 +37,20 @@ let of_router r =
          })
        stats)
 
+(* An evacuated shard (sick, but owning no slots — the supervisor moved
+   its keyspace away) no longer degrades the service: overall health is
+   about the keyspace that is actually served. *)
 let line r =
   let hs = of_router r in
-  let overall = if List.for_all (fun h -> h.h_ok) hs then "ok" else "degraded" in
+  let counts h = h.h_ok || h.h_slots = 0 in
+  let overall = if List.for_all counts hs then "ok" else "degraded" in
   let shard h =
     Printf.sprintf
-      "s%d=%s(%s) calls=%d served=%d failed=%d rejected=%d hedged=%d/%d"
+      "s%d=%s(%s) slots=%d calls=%d served=%d failed=%d rejected=%d hedged=%d/%d"
       h.h_id
-      (if h.h_ok then "ok" else "degraded")
-      h.h_breaker h.h_calls h.h_served h.h_failed h.h_rejected h.h_hedge_wins
-      h.h_hedged
+      (if h.h_ok then "ok" else if h.h_slots = 0 then "evacuated" else "degraded")
+      h.h_breaker h.h_slots h.h_calls h.h_served h.h_failed h.h_rejected
+      h.h_hedge_wins h.h_hedged
   in
   Printf.sprintf "%s shards=%d migrated=%d %s" overall (List.length hs)
     (Router.migrated_keys r)
@@ -122,9 +130,92 @@ let metrics r =
       m_type = "counter";
       m_samples = [ ([], float_of_int (Router.drained_keys r)) ];
     };
+    {
+      m_name = "lf_shard_slots";
+      m_help = "Slots currently assigned to each shard (0 = evacuated)";
+      m_type = "gauge";
+      m_samples = per (fun h -> h.h_slots);
+    };
+    {
+      m_name = "lf_shard_migration_aborts_total";
+      m_help = "Migrations that died mid-drain and journaled an abort";
+      m_type = "counter";
+      m_samples = [ ([], float_of_int (Router.aborts r)) ];
+    };
+    {
+      m_name = "lf_shard_promotions_total";
+      m_help = "Replica promotions completed";
+      m_type = "counter";
+      m_samples = [ ([], float_of_int (Router.promotions r)) ];
+    };
+    {
+      m_name = "lf_shard_stale_reads_total";
+      m_help = "Reads served from a replica, every one stale-tagged";
+      m_type = "counter";
+      m_samples = [ ([], float_of_int (Router.stale_reads r)) ];
+    };
   ]
+  @
+  (* Replica status, one sample per replicated slot: present only when
+     a replica set is attached, so the unreplicated server's snapshot
+     is byte-stable across this PR. *)
+  match Router.replicas r with
+  | None -> []
+  | Some reps ->
+      let now = Lf_svc.Clock.now (Router.clock r) in
+      let rs = Replica.stats reps ~now in
+      let per f =
+        List.map
+          (fun (s : Replica.slot_stats) ->
+            ( [
+                ("slot", string_of_int s.Replica.s_slot);
+                ("on", string_of_int s.Replica.s_on);
+              ],
+              float_of_int (f s) ))
+          rs
+      in
+      let open Lf_obs.Prom in
+      [
+        {
+          m_name = "lf_shard_replica_lag_ticks";
+          m_help = "Replica apply lag behind the primary journal";
+          m_type = "gauge";
+          m_samples = per (fun s -> s.Replica.s_lag);
+        };
+        {
+          m_name = "lf_shard_replica_pending";
+          m_help = "Journal entries recorded but not yet applied";
+          m_type = "gauge";
+          m_samples = per (fun s -> s.Replica.s_pending);
+        };
+        {
+          m_name = "lf_shard_replica_applied_total";
+          m_help = "Journal entries applied to replica copies";
+          m_type = "counter";
+          m_samples = per (fun s -> s.Replica.s_applied);
+        };
+      ]
 
 let open_breakers r =
   List.filter_map
     (fun h -> if h.h_ok then None else Some h.h_id)
     (of_router r)
+
+(* The anomaly trigger's snapshot cache (the KILL/FLIGHTDUMP
+   double-fire fix): [newly_open] diffs against the last snapshot it
+   saw, and [mark_open] lets a chaos KILL pre-mark its victim so the
+   breaker trip that inevitably follows is attributed to the kill
+   bundle already dumped, not fired again as a fresh breaker-open
+   anomaly. *)
+type monitor = { mutable m_last : int list }
+
+let monitor () = { m_last = [] }
+
+let newly_open mon r =
+  let now_open = open_breakers r in
+  let fresh = List.filter (fun i -> not (List.mem i mon.m_last)) now_open in
+  mon.m_last <- now_open;
+  fresh
+
+let mark_open mon s =
+  if not (List.mem s mon.m_last) then mon.m_last <- mon.m_last @ [ s ]

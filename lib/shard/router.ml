@@ -38,6 +38,12 @@ type migration = {
   m_to : int;
   mutable m_watermark : int;
       (* keys below this (in the slot) already live on [m_to] *)
+  mutable m_aborted : bool;
+      (* the copy loop died mid-drain: keys below the watermark are on
+         [m_to], the rest still on [m_from].  The record stays — the
+         watermark keeps routing correct (no key is ever owned by a
+         shard that no longer holds it) — until a retry with the same
+         slot and target resumes from the watermark. *)
 }
 
 (* The router's decision journal: rebalance begin/end lines for
@@ -83,6 +89,10 @@ type t = {
   mutable migrated : int;
   mutable rebalanced : int;
   mutable drained_keys : int;  (* rebalance keys that had to wait *)
+  mutable aborts : int;  (* migrations that died mid-drain *)
+  mutable promotions : int;  (* replica promotions completed *)
+  mutable replicas : Replica.t option;
+  mutable stale_reads : int;  (* reads served from a replica, stale-tagged *)
 }
 
 let ops_of_backend (b : backend) : Svc.ops =
@@ -115,10 +125,18 @@ let create ?(hedge_reads = true) ~ring ~svc_config mk_backend =
     migrated = 0;
     rebalanced = 0;
     drained_keys = 0;
+    aborts = 0;
+    promotions = 0;
+    replicas = None;
+    stale_reads = 0;
   }
+
+let attach_replicas t reps = t.replicas <- Some reps
+let replicas t = t.replicas
 
 let ring t = t.ring
 let shard_count t = Array.length t.shards
+let clock t = t.clock
 
 let owner_locked t k =
   let slot = Hash_ring.slot_of t.ring k in
@@ -167,8 +185,12 @@ let now_of t ctx = if Span.active ctx then Lf_svc.Clock.now t.clock else 0
 
 (* Failover read straight at the backend, outside the pipeline: safe
    because searches in the underlying structures are non-blocking and
-   write nothing a helper could not have written.  Best effort — if the
-   backend itself throws, the original outcome stands. *)
+   write nothing a helper could not have written.  When the backend
+   itself throws (the shard is dead, not merely tripped) and the key's
+   slot is replicated, the read falls back to the lagged copy — always
+   as [Served_stale], the staleness contract: a replica answer is never
+   laundered into a fresh [Served].  Best effort — with no replica the
+   original outcome stands. *)
 let hedge t ~ctx sh k original =
   Mutex.lock t.mu;
   sh.hedged <- sh.hedged + 1;
@@ -185,10 +207,23 @@ let hedge t ~ctx sh k original =
     end;
     outcome
   in
+  let replica_fallback () =
+    match t.replicas with
+    | None -> finish original ~won:false "error"
+    | Some reps -> (
+        let slot = Hash_ring.slot_of t.ring k in
+        match Replica.read reps ~slot ~key:k ~now:(Lf_svc.Clock.now t.clock) with
+        | None -> finish original ~won:false "error"
+        | Some (v, lag) ->
+            Mutex.lock t.mu;
+            t.stale_reads <- t.stale_reads + 1;
+            Mutex.unlock t.mu;
+            finish (Svc.Served_stale (v <> None, lag)) ~won:true "stale")
+  in
   match sh.backend.find k with
   | Some _ -> finish (Svc.Served true) ~won:true "served"
   | None -> finish (Svc.Served false) ~won:true "served"
-  | exception _ -> finish original ~won:false "error"
+  | exception _ -> replica_fallback ()
 
 let maybe_hedge t ~ctx sh req outcome =
   if not (t.hedge_reads && is_read req) then outcome
@@ -198,7 +233,30 @@ let maybe_hedge t ~ctx sh req outcome =
     | Svc.Failed _ -> hedge t ~ctx sh (key_of req) outcome
     | o -> o
 
-let outcome_ok = function Svc.Served _ -> true | Svc.Rejected _ | Svc.Failed _ -> false
+let outcome_ok = function
+  | Svc.Served _ | Svc.Served_stale _ -> true
+  | Svc.Rejected _ | Svc.Failed _ -> false
+
+(* Feed the replica journal from successful primary writes.  Only a
+   [Served] write is recorded: a rejected or failed write took no
+   effect the replica should mirror (crash-semantics writes may have —
+   the same uncertainty the primary itself carries). *)
+let record_write t req out =
+  match t.replicas with
+  | None -> ()
+  | Some reps -> (
+      match (req, out) with
+      | Svc.Insert (k, v), Svc.Served _ ->
+          Replica.record reps
+            ~slot:(Hash_ring.slot_of t.ring k)
+            ~now:(Lf_svc.Clock.now t.clock)
+            (Replica.Put (k, v))
+      | Svc.Delete k, Svc.Served _ ->
+          Replica.record reps
+            ~slot:(Hash_ring.slot_of t.ring k)
+            ~now:(Lf_svc.Clock.now t.clock)
+            (Replica.Del k)
+      | _ -> ())
 
 let call t ?(ctx = Span.nil) ?deadline ?queue_depth req =
   let k = key_of req in
@@ -212,6 +270,7 @@ let call t ?(ctx = Span.nil) ?deadline ?queue_depth req =
     maybe_hedge t ~ctx:fspan sh req
       (Svc.call sh.svc ~ctx:fspan ?deadline ?queue_depth req)
   in
+  record_write t req out;
   Span.end_ fspan ~now:(now_of t fspan) ~ok:(outcome_ok out);
   out
 
@@ -239,99 +298,198 @@ let call_many t ?(ctx = Span.nil) ?deadline ?queue_depth reqs =
               let fspan = Span.begin_ ctx ~name:t.names.(s) ~now:(now_of t ctx) in
               let res = Svc.call_many sh.svc ~ctx:fspan ?deadline ?queue_depth sub in
               List.iter2
-                (fun i o -> out.(i) <- maybe_hedge t ~ctx:fspan sh reqs.(i) o)
+                (fun i o ->
+                  let o = maybe_hedge t ~ctx:fspan sh reqs.(i) o in
+                  record_write t reqs.(i) o;
+                  out.(i) <- o)
                 idx res;
               Span.end_ fspan ~now:(now_of t fspan) ~ok:true)
         t.shards;
       Array.to_list out
 
-let rebalance t ~slot ~to_ ~key_range =
+(* The migration engine behind [rebalance] and [promote]: set up (or
+   resume) the watermark record, walk the keyspace with a per-key
+   inflight drain, move each key via [copy_key] (called with the mutex
+   held and the key's inflight count zero; returns whether a key
+   moved), flip ownership at the end.  A copy that keeps failing after
+   bounded retries *aborts* the migration: a terminal journal line is
+   written and the record is kept with [m_aborted] set — the watermark
+   keeps routing correct, so no key is ever owned by a shard that no
+   longer holds it — and a retry with the same slot and target resumes
+   the scan from the watermark (keys below it already moved; the copy
+   is idempotent, so re-running the boundary key is a no-op). *)
+let migrate t ~label ~slot ~to_ ~key_range ~copy_key =
   let n = Array.length t.shards in
   if slot < 0 || slot >= Hash_ring.shards t.ring then
-    invalid_arg "Router.rebalance: bad slot";
-  if to_ < 0 || to_ >= n then invalid_arg "Router.rebalance: bad shard";
-  if key_range < 0 then invalid_arg "Router.rebalance: bad key_range";
+    invalid_arg (Printf.sprintf "Router.%s: bad slot" label);
+  if to_ < 0 || to_ >= n then
+    invalid_arg (Printf.sprintf "Router.%s: bad shard" label);
+  if key_range < 0 then invalid_arg (Printf.sprintf "Router.%s: bad key_range" label);
   Mutex.lock t.mu;
-  if t.migration <> None then begin
-    Mutex.unlock t.mu;
-    invalid_arg "Router.rebalance: a rebalance is already running"
-  end;
-  let from = Hash_ring.owner t.ring slot in
-  if from = to_ then begin
-    Mutex.unlock t.mu;
-    0
-  end
-  else begin
-    let m = { m_slot = slot; m_from = from; m_to = to_; m_watermark = min_int } in
-    t.migration <- Some m;
-    note ~now:(Lf_svc.Clock.now t.clock) "rebalance slot=%d shard %d -> %d begin"
-      slot from to_;
-    Mutex.unlock t.mu;
-    (* The drain phases of a rebalance are traced under their own root:
-       when a migration stalls a request, the flight recorder shows a
-       concurrent rebalance tree with a drain span on the same key. *)
-    let rctx = Span.root ~name:"rebalance" ~now:(Lf_svc.Clock.now t.clock) in
-    let ok = ref false in
-    Fun.protect
-      ~finally:(fun () ->
-        Span.end_ rctx ~now:(Lf_svc.Clock.now t.clock) ~ok:!ok)
-    @@ fun () ->
-    let src = t.shards.(from).backend and dst = t.shards.(to_).backend in
-    let moved = ref 0 in
-    for k = 0 to key_range - 1 do
-      if Hash_ring.slot_of t.ring k = slot then begin
-        Mutex.lock t.mu;
-        if Hashtbl.mem t.inflight k then begin
-          t.drained_keys <- t.drained_keys + 1;
-          let dspan =
-            Span.begin_ rctx ~name:"drain" ~now:(Lf_svc.Clock.now t.clock)
+  let m =
+    match t.migration with
+    | Some m when m.m_aborted && m.m_slot = slot && m.m_to = to_ ->
+        m.m_aborted <- false;
+        note ~now:(Lf_svc.Clock.now t.clock)
+          "%s slot=%d shard %d -> %d resume watermark=%d" label slot m.m_from
+          to_ m.m_watermark;
+        Some m
+    | Some _ ->
+        Mutex.unlock t.mu;
+        invalid_arg
+          (Printf.sprintf "Router.%s: a migration is already running" label)
+    | None ->
+        let from = Hash_ring.owner t.ring slot in
+        if from = to_ then None
+        else begin
+          let m =
+            {
+              m_slot = slot;
+              m_from = from;
+              m_to = to_;
+              m_watermark = min_int;
+              m_aborted = false;
+            }
           in
-          if Span.active dspan then
-            Span.event dspan
-              ~now:(Lf_svc.Clock.now t.clock)
-              (Span.Drain_wait k);
-          while Hashtbl.mem t.inflight k do
-            Condition.wait t.drained t.mu
-          done;
-          Span.end_ dspan ~now:(Lf_svc.Clock.now t.clock) ~ok:true
-        end;
-        (* Inflight is zero and the mutex is held: no operation on [k]
-           can start or be running, so copy-then-advance is atomic for
-           this key.  Bounded retries absorb transient backend faults;
-           the copy converges because re-running it is idempotent
-           (insert of a present key is a no-op). *)
-        let rec copy attempts =
-          try
-            match src.find k with
-            | None -> ()
+          t.migration <- Some m;
+          note ~now:(Lf_svc.Clock.now t.clock) "%s slot=%d shard %d -> %d begin"
+            label slot from to_;
+          Some m
+        end
+  in
+  match m with
+  | None ->
+      Mutex.unlock t.mu;
+      0
+  | Some m ->
+      let from = m.m_from in
+      Mutex.unlock t.mu;
+      (* The drain phases of a migration are traced under their own
+         root: when a migration stalls a request, the flight recorder
+         shows a concurrent rebalance/promote tree with a drain span on
+         the same key. *)
+      let rctx = Span.root ~name:label ~now:(Lf_svc.Clock.now t.clock) in
+      let ok = ref false in
+      Fun.protect
+        ~finally:(fun () ->
+          Span.end_ rctx ~now:(Lf_svc.Clock.now t.clock) ~ok:!ok)
+      @@ fun () ->
+      let moved = ref 0 in
+      for k = max 0 m.m_watermark to key_range - 1 do
+        if Hash_ring.slot_of t.ring k = slot then begin
+          Mutex.lock t.mu;
+          if Hashtbl.mem t.inflight k then begin
+            t.drained_keys <- t.drained_keys + 1;
+            let dspan =
+              Span.begin_ rctx ~name:"drain" ~now:(Lf_svc.Clock.now t.clock)
+            in
+            if Span.active dspan then
+              Span.event dspan
+                ~now:(Lf_svc.Clock.now t.clock)
+                (Span.Drain_wait k);
+            while Hashtbl.mem t.inflight k do
+              Condition.wait t.drained t.mu
+            done;
+            Span.end_ dspan ~now:(Lf_svc.Clock.now t.clock) ~ok:true
+          end;
+          (* Inflight is zero and the mutex is held: no operation on [k]
+             can start or be running, so copy-then-advance is atomic for
+             this key.  Bounded retries absorb transient backend faults;
+             the copy converges because re-running it is idempotent
+             (insert of a present key is a no-op). *)
+          let rec copy attempts =
+            try if copy_key k then incr moved
+            with e ->
+              if attempts >= 3 then begin
+                m.m_aborted <- true;
+                t.aborts <- t.aborts + 1;
+                note ~now:(Lf_svc.Clock.now t.clock)
+                  "%s slot=%d shard %d -> %d abort moved=%d watermark=%d"
+                  label slot from to_ !moved m.m_watermark;
+                Condition.broadcast t.drained;
+                Mutex.unlock t.mu;
+                raise e
+              end
+              else copy (attempts + 1)
+          in
+          copy 0;
+          m.m_watermark <- k + 1;
+          Mutex.unlock t.mu
+        end
+      done;
+      Mutex.lock t.mu;
+      t.ring <- Hash_ring.reassign t.ring ~slot ~to_;
+      t.migration <- None;
+      t.migrated <- t.migrated + !moved;
+      t.rebalanced <- t.rebalanced + 1;
+      note ~now:(Lf_svc.Clock.now t.clock)
+        "%s slot=%d shard %d -> %d end moved=%d" label slot from to_ !moved;
+      Condition.broadcast t.drained;
+      Mutex.unlock t.mu;
+      ok := true;
+      !moved
+
+let rebalance t ~slot ~to_ ~key_range =
+  let copy_key k =
+    (* [from] is fixed for the migration's lifetime; reading the owner
+       per key would chase the post-flip assignment. *)
+    let src =
+      match t.migration with
+      | Some m -> t.shards.(m.m_from).backend
+      | None -> assert false
+    in
+    let dst = t.shards.(to_).backend in
+    match src.find k with
+    | None -> false
+    | Some v ->
+        ignore (dst.insert k v);
+        ignore (src.delete k);
+        true
+  in
+  migrate t ~label:"rebalance" ~slot ~to_ ~key_range ~copy_key
+
+(* Promote a slot's replica: make the copy authoritative on its host
+   shard.  Unlike [rebalance], the source of truth is the replica store
+   when the primary is dead — the primary is still consulted first,
+   per key, because an alive-but-sick primary may hold writes newer
+   than the drained journal; only when it throws does the copy answer.
+   The source delete is best-effort (a dead primary cannot honour it;
+   whatever it still holds is unreachable once ownership flips). *)
+let promote t ~slot ~key_range =
+  match t.replicas with
+  | None -> invalid_arg "Router.promote: no replicas attached"
+  | Some reps -> (
+      match Replica.host reps ~slot with
+      | None -> invalid_arg "Router.promote: slot not replicated"
+      | Some to_ ->
+          (* Promotion barrier: the copy reflects every recorded write
+             before any of it becomes authoritative. *)
+          ignore (Replica.drain reps ~slot);
+          let copy_key k =
+            let src =
+              match t.migration with
+              | Some m -> t.shards.(m.m_from).backend
+              | None -> assert false
+            in
+            let dst = t.shards.(to_).backend in
+            let v =
+              match src.find k with
+              | v -> v
+              | exception _ -> Replica.peek reps ~slot ~key:k
+            in
+            match v with
+            | None -> false
             | Some v ->
                 ignore (dst.insert k v);
-                ignore (src.delete k);
-                incr moved
-          with e ->
-            if attempts >= 3 then begin
-              Mutex.unlock t.mu;
-              raise e
-            end
-            else copy (attempts + 1)
-        in
-        copy 0;
-        m.m_watermark <- k + 1;
-        Mutex.unlock t.mu
-      end
-    done;
-    Mutex.lock t.mu;
-    t.ring <- Hash_ring.reassign t.ring ~slot ~to_;
-    t.migration <- None;
-    t.migrated <- t.migrated + !moved;
-    t.rebalanced <- t.rebalanced + 1;
-    note ~now:(Lf_svc.Clock.now t.clock)
-      "rebalance slot=%d shard %d -> %d end moved=%d" slot from to_ !moved;
-    Condition.broadcast t.drained;
-    Mutex.unlock t.mu;
-    ok := true;
-    !moved
-  end
+                (try ignore (src.delete k) with _ -> ());
+                true
+          in
+          let moved = migrate t ~label:"promote" ~slot ~to_ ~key_range ~copy_key in
+          Replica.remove_slot reps ~slot;
+          Mutex.lock t.mu;
+          t.promotions <- t.promotions + 1;
+          Mutex.unlock t.mu;
+          moved)
 
 let stats t = Array.map (fun sh -> Svc.stats sh.svc) t.shards
 let shard_svc t i = t.shards.(i).svc
@@ -356,3 +514,60 @@ let drained_keys t =
   let n = t.drained_keys in
   Mutex.unlock t.mu;
   n
+
+let aborts t =
+  Mutex.lock t.mu;
+  let n = t.aborts in
+  Mutex.unlock t.mu;
+  n
+
+let promotions t =
+  Mutex.lock t.mu;
+  let n = t.promotions in
+  Mutex.unlock t.mu;
+  n
+
+let stale_reads t =
+  Mutex.lock t.mu;
+  let n = t.stale_reads in
+  Mutex.unlock t.mu;
+  n
+
+type migration_status = {
+  ms_slot : int;
+  ms_from : int;
+  ms_to : int;
+  ms_watermark : int;
+  ms_aborted : bool;
+}
+
+let migration_status t =
+  Mutex.lock t.mu;
+  let s =
+    Option.map
+      (fun m ->
+        {
+          ms_slot = m.m_slot;
+          ms_from = m.m_from;
+          ms_to = m.m_to;
+          ms_watermark = m.m_watermark;
+          ms_aborted = m.m_aborted;
+        })
+      t.migration
+  in
+  Mutex.unlock t.mu;
+  s
+
+(* Slot ownership as the supervisor sees it: the assignment, with the
+   in-flight migration's destination substituted so a healing move is
+   not planned twice. *)
+let slots_of_shard t =
+  Mutex.lock t.mu;
+  let assignment = Hash_ring.assignment t.ring in
+  (match t.migration with
+  | Some m when not m.m_aborted -> assignment.(m.m_slot) <- m.m_to
+  | _ -> ());
+  Mutex.unlock t.mu;
+  let counts = Array.make (Array.length t.shards) 0 in
+  Array.iter (fun s -> counts.(s) <- counts.(s) + 1) assignment;
+  counts

@@ -49,8 +49,22 @@ val create :
     [svc_config i].  [hedge_reads] (default [true]) enables the
     failover read path. *)
 
+val attach_replicas : t -> Replica.t -> unit
+(** Wire a replica set into the router: successful writes to
+    replicated slots are journaled for async apply, and a hedged read
+    whose backend is dead (throws, not merely tripped) falls back to
+    the slot's replica — always as [Svc.Served_stale (found, lag)],
+    never a silent fresh answer.  The staleness contract: replica data
+    is explicitly lag-tagged end to end. *)
+
+val replicas : t -> Replica.t option
+
 val ring : t -> Hash_ring.t
 val shard_count : t -> int
+
+val clock : t -> Lf_svc.Clock.t
+(** Shard 0's pipeline clock — the tick base for spans, journal lines
+    and replica lag. *)
 
 val route : t -> int -> int
 (** The shard a key's operations go to right now — assignment plus the
@@ -94,8 +108,32 @@ val rebalance : t -> slot:int -> to_:int -> key_range:int -> int
     number of keys moved.  When tracing is on, the migration runs under
     its own [rebalance] root span with a [drain] child span (carrying
     the key) for every key that had to wait for in-flight operations.
-    @raise Invalid_argument if a rebalance is already running, or on
-    out-of-range arguments. *)
+
+    A copy that keeps failing (four attempts) {e aborts} the migration:
+    the exception propagates, a terminal [abort] line lands in the
+    journal (so stuck is distinguishable from done), and the watermark
+    record is {e kept} — keys below it already live on [to_] and stay
+    routed there.  Calling [rebalance] (or [promote]) again with the
+    same [slot] and target resumes the scan from the watermark; a
+    different slot or target while the aborted record stands is an
+    error.
+    @raise Invalid_argument if a migration is already running (and not
+    resumable by these arguments), or on out-of-range arguments. *)
+
+val promote : t -> slot:int -> key_range:int -> int
+(** [promote t ~slot ~key_range] makes [slot]'s replica authoritative
+    on its host shard: drains the replica's apply journal (the
+    promotion barrier), then migrates the slot to the host with the
+    same watermark/drain machinery as {!rebalance} — except the value
+    copied comes from the primary when it still answers (an
+    alive-but-sick primary is fresher than any replica) and from the
+    replica copy when the primary throws, and the source delete is
+    best-effort (a dead primary cannot honour it).  On completion the
+    slot's replica is retired.  Returns keys moved.  This is how the
+    supervisor evacuates a {e dead} shard, which [rebalance] alone
+    cannot (its copy would need the corpse to answer reads).
+    @raise Invalid_argument without replicas, if the slot is not
+    replicated, or if a non-resumable migration is running. *)
 
 val stats : t -> Svc.stats array
 (** Per-shard pipeline stats, index = shard id. *)
@@ -119,6 +157,33 @@ val rebalances : t -> int
 val drained_keys : t -> int
 (** Keys whose migration had to wait for in-flight operations to
     drain, across all completed rebalances. *)
+
+val aborts : t -> int
+(** Migrations that died mid-drain and journaled an [abort] record. *)
+
+val promotions : t -> int
+(** Replica promotions completed. *)
+
+val stale_reads : t -> int
+(** Reads served from a replica — every one of them returned as
+    [Svc.Served_stale]; this counter equalling the wire's stale-token
+    count is the no-silent-staleness oracle. *)
+
+type migration_status = {
+  ms_slot : int;
+  ms_from : int;
+  ms_to : int;
+  ms_watermark : int;
+  ms_aborted : bool;  (** terminal-abort record awaiting a resume *)
+}
+
+val migration_status : t -> migration_status option
+(** The in-flight (or aborted-and-resumable) migration, if any — how
+    the supervisor distinguishes idle from running from stuck. *)
+
+val slots_of_shard : t -> int array
+(** Slots currently assigned per shard (an in-flight migration counts
+    for its destination).  A shard at [0] is fully evacuated. *)
 
 val journal : unit -> string list
 (** The router's process-wide decision journal (rebalance begin/end

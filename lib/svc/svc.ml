@@ -31,10 +31,15 @@ let reason_to_string = function
 
 let all_reasons = [ Expired; Queue_full; Doomed; Breaker_open; Write_degraded ]
 
-type outcome = Served of bool | Rejected of reject_reason | Failed of string
+type outcome =
+  | Served of bool
+  | Served_stale of bool * int
+  | Rejected of reject_reason
+  | Failed of string
 
 let outcome_to_string = function
   | Served b -> Printf.sprintf "served %b" b
+  | Served_stale (b, lag) -> Printf.sprintf "served-stale %b lag=%d" b lag
   | Rejected r -> "rejected " ^ reason_to_string r
   | Failed m -> "failed " ^ m
 

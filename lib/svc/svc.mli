@@ -29,6 +29,12 @@ val reason_to_string : reject_reason -> string
 
 type outcome =
   | Served of bool  (** executed; the dictionary's own result *)
+  | Served_stale of bool * int
+      (** served from a lagged replica after the owning shard refused or
+          failed the read: [(found, lag_ticks)].  The pipeline itself
+          never produces this — only the shard router's replica failover
+          does — but it lives in [outcome] so the staleness contract is
+          carried, never laundered, all the way to the wire. *)
   | Rejected of reject_reason  (** refused before any execution *)
   | Failed of string
       (** executed and gave up: retries/budget/deadline exhausted — the

@@ -5,6 +5,8 @@ type command =
   | Health
   | Metrics
   | Slo
+  | Replicas
+  | Heal
   | Flightdump
   | Quit
   | Shutdown
@@ -77,6 +79,8 @@ let parse line =
       | "HEALTH", [] -> Ok Health
       | "METRICS", [] -> Ok Metrics
       | "SLO", [] -> Ok Slo
+      | "REPLICAS", [] -> Ok Replicas
+      | "HEAL", [] -> Ok Heal
       | "FLIGHTDUMP", [] -> Ok Flightdump
       | "QUIT", [] -> Ok Quit
       | "SHUTDOWN", [] -> Ok Shutdown
@@ -84,14 +88,19 @@ let parse line =
 
 let format_outcome = function
   | Svc.Served b -> Printf.sprintf "OK %b" b
+  | Svc.Served_stale (b, lag) -> Printf.sprintf "STALE %b lag=%d" b lag
   | Svc.Rejected r -> "REJECTED " ^ Svc.reason_to_string r
   | Svc.Failed m -> "FAILED " ^ String.map (function '\n' -> ' ' | c -> c) m
 
 (* One token per key, in request order: the wire answer to a batch can
-   never collapse per-key outcomes into one error. *)
+   never collapse per-key outcomes into one error.  A replica-served
+   read is tagged [stale:<t|f>:<lag>], never a bare [t]/[f] — the
+   staleness contract survives batching. *)
 let outcome_token = function
   | Svc.Served true -> "t"
   | Svc.Served false -> "f"
+  | Svc.Served_stale (b, lag) ->
+      Printf.sprintf "stale:%c:%d" (if b then 't' else 'f') lag
   | Svc.Rejected r -> Svc.reason_to_string r
   | Svc.Failed _ -> "failed"
 

@@ -14,18 +14,22 @@
     HEALTH                one-line liveness/readiness summary
     METRICS               Prometheus-format snapshot, terminated by END
     SLO                   one-line multi-window burn-rate summary
+    REPLICAS              one-line replica summary: per-slot host, lag, journal
+    HEAL                  one-line self-healing supervisor summary
     FLIGHTDUMP            dump the flight recorder; answers OK <path>
     QUIT                  close this connection
     SHUTDOWN              stop the server
     v}
 
     Operation responses are one line: [OK true], [OK false],
+    [STALE <bool> lag=<ticks>] (read served from a lagged replica — the
+    staleness is always explicit, never a silent [OK]),
     [REJECTED <reason>], or [FAILED <message>].  A multi-key command
     answers one line — [MULTI <n> <tok> ... <tok>] with exactly one
-    token per key in request order ([t]/[f] for served, a reject
-    reason, or [failed]); a shard that sheds or trips yields per-key
-    tokens, never one collapsed error.  Parse errors get
-    [ERR <message>].
+    token per key in request order ([t]/[f] for served,
+    [stale:<t|f>:<lag>] for replica-served, a reject reason, or
+    [failed]); a shard that sheds or trips yields per-key tokens, never
+    one collapsed error.  Parse errors get [ERR <message>].
 
     Batches are validated at parse time: empty batches, batches above
     {!max_batch} keys, duplicate keys, and MSET with an odd argument
@@ -39,6 +43,8 @@ type command =
   | Health
   | Metrics
   | Slo  (** burn-rate summary ([SLO ...] line, or [ERR] untracked) *)
+  | Replicas  (** per-slot replica status ([ERR] without [--replicas]) *)
+  | Heal  (** supervisor status ([ERR] without [--self-heal]) *)
   | Flightdump  (** dump the span flight recorder to the dump dir *)
   | Quit
   | Shutdown

@@ -14,9 +14,16 @@ module Degrade = Lf_svc.Degrade
 module Hash_ring = Lf_shard.Hash_ring
 module Router = Lf_shard.Router
 module Health = Lf_shard.Health
+module Replica = Lf_shard.Replica
+module Supervisor = Lf_shard.Supervisor
 module Fault = Lf_fault.Fault
 module FP = Lf_kernel.Fault_point
 module History = Lf_lin.History
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
 
 let outcome =
   Alcotest.testable
@@ -360,6 +367,7 @@ let test_chaos_shard_targeted_stall () =
        ]);
   let as_bool = function
     | Svc.Served ok -> ok
+    | Svc.Served_stale (ok, _) -> ok
     | Svc.Rejected _ | Svc.Failed _ -> false
   in
   let r =
@@ -432,6 +440,8 @@ let test_linearizable_across_rebalance () =
           | Svc.Served ok ->
               let ret = History.Recorder.tick rec_ in
               entries := { History.pid; op; ok; inv; ret } :: !entries
+          | Svc.Served_stale (_, lag) ->
+              Alcotest.failf "unexpected stale read (lag=%d): no replicas" lag
           | Svc.Rejected _ -> () (* never executed: no history entry *)
           | Svc.Failed m -> Alcotest.failf "unexpected Failed: %s" m);
           Domain.cpu_relax ()
@@ -474,7 +484,584 @@ let test_linearizable_across_rebalance () =
     | _ -> Alcotest.failf "key %d present on several shards" k
   done
 
-(* --- Health surface --------------------------------------------------- *)
+(* --- Abort journal + resume: stuck is distinguishable from done ------- *)
+
+let test_abort_and_resume () =
+  let key_range = 64 in
+  let router, ring, tbs = plain_router ~shards:3 ~seed:5 () in
+  let slot = 0 in
+  let from = Hash_ring.owner ring slot in
+  let to_ = (from + 1) mod 3 and other = (from + 2) mod 3 in
+  let keys =
+    List.filter
+      (fun k -> Hash_ring.slot_of ring k = slot)
+      (List.init key_range Fun.id)
+  in
+  Alcotest.(check bool) "slot has keys to move" true (List.length keys >= 2);
+  List.iter
+    (fun k ->
+      Alcotest.check outcome
+        (Printf.sprintf "prefill %d" k)
+        (Svc.Served true)
+        (Router.call router (Svc.Insert (k, k))))
+    keys;
+  (* Destination writes dead: the first key's copy exhausts its bounded
+     retries and the migration aborts. *)
+  tbs.(to_).w_killed := true;
+  (match Router.rebalance router ~slot ~to_ ~key_range with
+  | moved -> Alcotest.failf "abort expected, migration completed (%d)" moved
+  | exception Failure _ -> ());
+  Alcotest.(check int) "abort counted" 1 (Router.aborts router);
+  (* The terminal journal record distinguishes stuck from done. *)
+  let abort_line =
+    Printf.sprintf "rebalance slot=%d shard %d -> %d abort" slot from to_
+  in
+  Alcotest.(check bool) "abort journaled" true
+    (List.exists (fun l -> contains l abort_line) (Router.journal ()));
+  (match Router.migration_status router with
+  | Some ms ->
+      Alcotest.(check bool) "status says aborted" true ms.Router.ms_aborted;
+      Alcotest.(check int) "status slot" slot ms.Router.ms_slot;
+      Alcotest.(check int) "status target" to_ ms.Router.ms_to
+  | None -> Alcotest.fail "aborted migration record must be kept");
+  (* The kept watermark keeps routing correct: nothing moved, every key
+     still routed to (and held by) the source. *)
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "key %d still routed to source" k)
+        from (Router.route router k);
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d still held by source" k)
+        true
+        (Hashtbl.mem tbs.(from).h k))
+    keys;
+  (* Only the same slot+target resumes; anything else is refused while
+     the aborted record stands. *)
+  (match Router.rebalance router ~slot ~to_:other ~key_range with
+  | _ -> Alcotest.fail "different target must not resume"
+  | exception Invalid_argument _ -> ());
+  (match Router.rebalance router ~slot:1 ~to_ ~key_range with
+  | _ -> Alcotest.fail "different slot must not resume"
+  | exception Invalid_argument _ -> ());
+  (* Heal the destination; the retry resumes from the watermark and
+     completes. *)
+  tbs.(to_).w_killed := false;
+  let moved = Router.rebalance router ~slot ~to_ ~key_range in
+  Alcotest.(check int) "resume moved every key" (List.length keys) moved;
+  Alcotest.(check bool) "migration record cleared" true
+    (Router.migration_status router = None);
+  Alcotest.(check bool) "resume journaled" true
+    (List.exists
+       (fun l ->
+         contains l
+           (Printf.sprintf "rebalance slot=%d shard %d -> %d resume" slot from
+              to_))
+       (Router.journal ()));
+  List.iter
+    (fun k ->
+      Alcotest.(check int)
+        (Printf.sprintf "key %d routed to target" k)
+        to_ (Router.route router k);
+      Alcotest.(check bool)
+        (Printf.sprintf "key %d on exactly the target" k)
+        true
+        (Hashtbl.mem tbs.(to_).h k && not (Hashtbl.mem tbs.(from).h k)))
+    keys
+
+(* --- Monitor: the breaker-open anomaly fires once --------------------- *)
+
+let test_monitor_no_double_fire () =
+  let router, ring, tbs = hedging_router ~hedge_reads:false in
+  let mon = Health.monitor () in
+  Alcotest.(check (list int)) "nothing open yet" []
+    (Health.newly_open mon router);
+  let k = shard_key ring 0 in
+  ignore (Router.call router (Svc.Insert (k, 1)));
+  tbs.(0).w_killed := true;
+  for _ = 1 to 4 do
+    ignore (Router.call router (Svc.Insert (k, 2)))
+  done;
+  Alcotest.(check (option string)) "breaker open" (Some "open")
+    (Router.stats router).(0).breaker;
+  (* The KILL + immediate FLIGHTDUMP shape: two observations of the same
+     opening must fire exactly one anomaly. *)
+  Alcotest.(check (list int)) "first poll fires" [ 0 ]
+    (Health.newly_open mon router);
+  Alcotest.(check (list int)) "second poll does not" []
+    (Health.newly_open mon router);
+  (* A chaos KILL pre-marks its victim: the breaker trip that follows is
+     attributed to the kill bundle, never re-fired. *)
+  let mon2 = Health.monitor () in
+  Health.mark_open mon2 0;
+  Alcotest.(check (list int)) "pre-marked victim not re-fired" []
+    (Health.newly_open mon2 router)
+
+(* --- Replica: journal, budgeted apply, lag --------------------------- *)
+
+let tbl_store () =
+  let h = Hashtbl.create 16 in
+  ( h,
+    {
+      Replica.r_insert = (fun k v -> Hashtbl.replace h k v; true);
+      r_delete =
+        (fun k ->
+          if Hashtbl.mem h k then (Hashtbl.remove h k; true) else false);
+      r_find = (fun k -> Hashtbl.find_opt h k);
+    } )
+
+let test_replica_journal_and_lag () =
+  let reps = Replica.create () in
+  let _h, store = tbl_store () in
+  Replica.add_slot reps ~slot:2 ~on:1 ~store;
+  (match Replica.add_slot reps ~slot:2 ~on:0 ~store with
+  | () -> Alcotest.fail "duplicate slot accepted"
+  | exception Invalid_argument _ -> ());
+  Alcotest.(check (option int)) "host" (Some 1) (Replica.host reps ~slot:2);
+  (* Unreplicated slots: record is a no-op, read answers None. *)
+  Replica.record reps ~slot:7 ~now:0 (Replica.Put (1, 1));
+  Alcotest.(check bool) "unreplicated read" true
+    (Replica.read reps ~slot:7 ~key:1 ~now:0 = None);
+  (* Recorded but unapplied entries are invisible; lag counts from the
+     oldest pending entry's record tick. *)
+  Replica.record reps ~slot:2 ~now:10 (Replica.Put (5, 50));
+  Replica.record reps ~slot:2 ~now:12 (Replica.Del 6);
+  (match Replica.read reps ~slot:2 ~key:5 ~now:14 with
+  | Some (None, 4) -> ()
+  | Some (v, lag) ->
+      Alcotest.failf "pre-apply read: value=%s lag=%d"
+        (match v with None -> "none" | Some v -> string_of_int v)
+        lag
+  | None -> Alcotest.fail "replicated slot read None");
+  (match Replica.stats reps ~now:14 with
+  | [ st ] ->
+      Alcotest.(check int) "pending" 2 st.Replica.s_pending;
+      Alcotest.(check int) "lag" 4 st.Replica.s_lag
+  | l -> Alcotest.failf "one replicated slot expected, got %d" (List.length l));
+  (* Budgeted apply drains oldest-first: the Put lands, the Del stays
+     pending and the lag re-bases on it. *)
+  Alcotest.(check int) "apply one" 1 (Replica.apply ~budget:1 reps);
+  (match Replica.read reps ~slot:2 ~key:5 ~now:14 with
+  | Some (Some 50, 2) -> ()
+  | _ -> Alcotest.fail "budgeted apply wrong");
+  Alcotest.(check int) "drain applies the rest" 1 (Replica.drain reps ~slot:2);
+  (match Replica.read reps ~slot:2 ~key:5 ~now:20 with
+  | Some (Some 50, 0) -> ()
+  | _ -> Alcotest.fail "drained copy must be lag 0");
+  (* Failover reads are counted (the staleness oracle); control-plane
+     peeks are not. *)
+  Alcotest.(check int) "reads counted" 3 (Replica.reads reps);
+  Alcotest.(check (option int)) "peek sees the copy" (Some 50)
+    (Replica.peek reps ~slot:2 ~key:5);
+  Alcotest.(check int) "peek uncounted" 3 (Replica.reads reps);
+  (match Replica.stats reps ~now:20 with
+  | [ st ] ->
+      Alcotest.(check int) "applied" 2 st.Replica.s_applied;
+      Alcotest.(check int) "nothing pending" 0 st.Replica.s_pending
+  | _ -> Alcotest.fail "stats after drain");
+  Replica.remove_slot reps ~slot:2;
+  Alcotest.(check bool) "retired" false (Replica.replicated reps ~slot:2)
+
+(* --- The staleness contract at the router ----------------------------- *)
+
+let slot_key ?(from = 0) ring slot =
+  let rec go k = if Hash_ring.slot_of ring k = slot then k else go (k + 1) in
+  go from
+
+let test_replica_failover_stale_tagged () =
+  let router, ring, tbs = plain_router ~shards:2 ~seed:9 () in
+  let k = shard_key ring 0 in
+  let slot = Hash_ring.slot_of ring k in
+  let reps = Replica.create () in
+  let _h, store = tbl_store () in
+  Replica.add_slot reps ~slot ~on:1 ~store;
+  Router.attach_replicas router reps;
+  Alcotest.check outcome "write served" (Svc.Served true)
+    (Router.call router (Svc.Insert (k, 41)));
+  (* Replication is async: the journaled write only reaches the copy on
+     apply. *)
+  Alcotest.(check int) "journal applied" 1 (Replica.apply reps);
+  (* The shard dies outright — reads throw, so the hedge cannot answer
+     from the backend and falls back to the replica.  Every replica
+     answer is stale-tagged; a fresh [Served] would be a contract
+     violation. *)
+  tbs.(0).killed := true;
+  Alcotest.check outcome "dead shard: replica answers, stale-tagged"
+    (Svc.Served_stale (true, 0))
+    (Router.call router (Svc.Find k));
+  Alcotest.check outcome "missing key: an honest stale false"
+    (Svc.Served_stale (false, 0))
+    (Router.call router (Svc.Find (slot_key ~from:(k + 1) ring slot)));
+  Alcotest.(check int) "every replica answer counted" 2
+    (Router.stale_reads router);
+  Alcotest.(check int) "and counted at the replica too" 2 (Replica.reads reps);
+  (* Writes never fail over to a replica. *)
+  (match Router.call router (Svc.Insert (k, 99)) with
+  | Svc.Failed _ | Svc.Rejected _ -> ()
+  | o -> Alcotest.failf "write must not fail over: %s" (Svc.outcome_to_string o))
+
+(* --- Supervisor: hysteresis, pacing, backoff -------------------------- *)
+
+let mk_health ?(calls = fun _ -> 0) ?(rejected = fun _ -> 0) ~sick ids =
+  List.map
+    (fun i ->
+      let bad = List.mem i sick in
+      {
+        Health.h_id = i;
+        h_ok = not bad;
+        h_breaker = (if bad then "open" else "closed");
+        h_mode = "normal";
+        h_slots = 1;
+        h_calls = calls i;
+        h_served = calls i - rejected i;
+        h_failed = 0;
+        h_rejected = rejected i;
+        h_hedged = 0;
+        h_hedge_wins = 0;
+      })
+    ids
+
+let test_supervisor_hysteresis_and_backoff () =
+  let clock, _ = Clock.manual () in
+  let cfg =
+    Supervisor.config ~poll_every:1 ~sick_after:3 ~healthy_after:2
+      ~backoff_base:4 ~backoff_max:8 ~clock ~key_range:16 ()
+  in
+  let sup = Supervisor.create cfg ~shards:2 in
+  let tick ~now ~sick =
+    Supervisor.tick sup ~now
+      ~health:(mk_health ~sick [ 0; 1 ])
+      ~assignment:[| 0; 1 |]
+      ~replica_host:(fun _ -> None)
+      ~pending_abort:None ~fast_burn:false
+  in
+  (* Hysteresis: two sick polls are not enough; the third plans exactly
+     one copy evacuation onto the healthy shard. *)
+  Alcotest.(check int) "poll 1 holds" 0 (List.length (tick ~now:1 ~sick:[ 0 ]));
+  Alcotest.(check int) "same tick not re-polled (poll_every)" 0
+    (List.length (tick ~now:1 ~sick:[ 0 ]));
+  Alcotest.(check int) "poll 2 holds" 0 (List.length (tick ~now:2 ~sick:[ 0 ]));
+  let a =
+    match tick ~now:3 ~sick:[ 0 ] with
+    | [ ({ Supervisor.a_slot = 0; a_from = 0; a_to = 1; a_via = Copy } as a) ]
+      ->
+        a
+    | l -> Alcotest.failf "poll 3: one copy evacuation expected, got %d"
+             (List.length l)
+  in
+  Alcotest.(check (list int)) "sick list" [ 0 ] (Supervisor.stats sup).sick;
+  (* A failed heal backs the source off exponentially: base 4, then
+     capped at 8. *)
+  Supervisor.report sup ~now:3 a ~ok:false ~moved:0;
+  Alcotest.(check int) "backing off (t=4)" 0
+    (List.length (tick ~now:4 ~sick:[ 0 ]));
+  Alcotest.(check int) "backing off (t=6)" 0
+    (List.length (tick ~now:6 ~sick:[ 0 ]));
+  (match tick ~now:7 ~sick:[ 0 ] with
+  | [ a ] -> Supervisor.report sup ~now:7 a ~ok:false ~moved:0
+  | l -> Alcotest.failf "backoff expiry must retry, got %d" (List.length l));
+  Alcotest.(check int) "doubled backoff capped (t=14)" 0
+    (List.length (tick ~now:14 ~sick:[ 0 ]));
+  (match tick ~now:15 ~sick:[ 0 ] with
+  | [ a ] -> Supervisor.report sup ~now:15 a ~ok:true ~moved:5
+  | l -> Alcotest.failf "capped backoff expiry must retry, got %d"
+           (List.length l));
+  (* Success re-arms immediately and the journal carries the story. *)
+  let s = Supervisor.stats sup in
+  Alcotest.(check int) "heals done" 1 s.Supervisor.heals_done;
+  Alcotest.(check int) "heals failed" 2 s.Supervisor.heals_failed;
+  Alcotest.(check int) "keys moved" 5 s.Supervisor.keys_moved;
+  let j = Supervisor.journal sup in
+  Alcotest.(check bool) "sick transition journaled" true
+    (List.exists (fun l -> contains l "shard 0 sick") j);
+  Alcotest.(check bool) "failures journaled with backoff" true
+    (List.exists (fun l -> contains l "backoff=8") j);
+  (* Recovery clears the sick streak. *)
+  ignore (tick ~now:16 ~sick:[]);
+  Alcotest.(check (list int)) "recovered" [] (Supervisor.stats sup).sick;
+  Alcotest.(check bool) "recovery journaled" true
+    (List.exists (fun l -> contains l "shard 0 recovered")
+       (Supervisor.journal sup))
+
+let test_supervisor_shed_sick_and_fast_burn () =
+  let clock, _ = Clock.manual () in
+  let cfg =
+    Supervisor.config ~poll_every:1 ~sick_after:4 ~healthy_after:1 ~clock
+      ~key_range:8 ()
+  in
+  let sup = Supervisor.create cfg ~shards:2 in
+  let tick ~now ~fast_burn h =
+    Supervisor.tick sup ~now ~health:h ~assignment:[| 0; 1 |]
+      ~replica_host:(fun _ -> None)
+      ~pending_abort:None ~fast_burn
+  in
+  (* 60% of the poll's calls shed counts as sick even with the breaker
+     closed. *)
+  let shedding ~calls ~rejected =
+    mk_health ~sick:[]
+      ~calls:(fun i -> if i = 0 then calls else 0)
+      ~rejected:(fun i -> if i = 0 then rejected else 0)
+      [ 0; 1 ]
+  in
+  Alcotest.(check int) "shed poll 1 holds" 0
+    (List.length (tick ~now:1 ~fast_burn:false (shedding ~calls:100 ~rejected:60)));
+  (* An SLO fast burn halves sick_after (4 -> 2): the second bad poll
+     acts. *)
+  (match tick ~now:2 ~fast_burn:true (shedding ~calls:200 ~rejected:120) with
+  | [ { Supervisor.a_from = 0; a_via = Copy; _ } ] -> ()
+  | l ->
+      Alcotest.failf "fast burn must act on poll 2, got %d actions"
+        (List.length l))
+
+let test_supervisor_resume_priority_and_promote_target () =
+  let clock, _ = Clock.manual () in
+  let cfg =
+    Supervisor.config ~poll_every:1 ~sick_after:1 ~healthy_after:1 ~clock
+      ~key_range:8 ()
+  in
+  let sup = Supervisor.create cfg ~shards:3 in
+  let health = mk_health ~sick:[ 0 ] [ 0; 1; 2 ] in
+  (* The router's aborted migration is resumed before anything else is
+     planned; via=Promote exactly when the slot's replica lives on the
+     stranded target. *)
+  (match
+     Supervisor.tick sup ~now:1 ~health ~assignment:[| 0; 1; 2 |]
+       ~replica_host:(fun s -> if s = 0 then Some 2 else None)
+       ~pending_abort:(Some (0, 0, 2)) ~fast_burn:false
+   with
+  | [ { Supervisor.a_slot = 0; a_from = 0; a_to = 2; a_via = Promote } ] -> ()
+  | _ -> Alcotest.fail "resume onto the replica host must promote");
+  (match
+     Supervisor.tick sup ~now:2 ~health ~assignment:[| 0; 1; 2 |]
+       ~replica_host:(fun _ -> None)
+       ~pending_abort:(Some (0, 0, 1)) ~fast_burn:false
+   with
+  | [ { Supervisor.a_slot = 0; a_from = 0; a_to = 1; a_via = Copy } ] -> ()
+  | _ -> Alcotest.fail "resume without a replica copies");
+  (* Fresh planning prefers promotion when the replica host is healthy. *)
+  (match
+     Supervisor.tick sup ~now:3 ~health ~assignment:[| 0; 1; 2 |]
+       ~replica_host:(fun s -> if s = 0 then Some 1 else None)
+       ~pending_abort:None ~fast_burn:false
+   with
+  | [ { Supervisor.a_slot = 0; a_from = 0; a_to = 1; a_via = Promote } ] -> ()
+  | _ -> Alcotest.fail "planning must prefer the replica host")
+
+(* --- End to end: the supervisor promotes a replica off a dead shard --- *)
+
+let test_supervisor_promotes_off_dead_shard () =
+  let clock, advance = Clock.manual () in
+  let shards = 2 and key_range = 32 in
+  let ring = Hash_ring.create ~seed:3 ~shards () in
+  let pairs = Array.init shards (fun _ -> table_backend ()) in
+  let tbs = Array.map fst pairs in
+  let cfg _ =
+    Svc.config ~clock
+      ~retryable:(fun _ -> false)
+      ~breaker:
+        (Some
+           (Breaker.config ~window:1_000_000 ~min_calls:2 ~failure_pct:50
+              ~open_for:1_000_000 ~probes:1 ()))
+      ~degrade:(Degrade.policy ~on_open:Degrade.Normal ~on_half_open:Degrade.Normal ())
+      ()
+  in
+  let router = Router.create ~ring ~svc_config:cfg (fun i -> snd pairs.(i)) in
+  let reps = Replica.create () in
+  let copy, store = tbl_store () in
+  Replica.add_slot reps ~slot:0 ~on:1 ~store;
+  Router.attach_replicas router reps;
+  let keys =
+    List.filter
+      (fun k -> Hash_ring.slot_of ring k = 0)
+      (List.init key_range Fun.id)
+  in
+  List.iter
+    (fun k ->
+      Alcotest.check outcome
+        (Printf.sprintf "prefill %d" k)
+        (Svc.Served true)
+        (Router.call router (Svc.Insert (k, k + 100))))
+    keys;
+  let sup =
+    Supervisor.create
+      (Supervisor.config ~poll_every:1 ~sick_after:2 ~healthy_after:1 ~clock
+         ~key_range ())
+      ~shards
+  in
+  (* A healthy poll: the replica journal applies on the supervisor's
+     pace, and nothing is planned. *)
+  advance 1;
+  Alcotest.(check int) "healthy tick heals nothing" 0
+    (Supervisor.run_tick sup router);
+  Alcotest.(check (option int)) "replica copy caught up" (Some (List.hd keys + 100))
+    (Hashtbl.find_opt copy (List.hd keys));
+  (* Shard 0 dies outright (reads AND writes throw) — rebalance alone
+     could never evacuate it; only the replica can. *)
+  tbs.(0).killed := true;
+  let rec trip budget =
+    if budget = 0 then Alcotest.fail "breaker never opened"
+    else
+      match Router.call router (Svc.Insert (List.hd keys, 1)) with
+      | Svc.Rejected Svc.Breaker_open -> ()
+      | _ -> trip (budget - 1)
+  in
+  trip 60;
+  let healed = ref 0 in
+  for _ = 1 to 6 do
+    advance 1;
+    healed := !healed + Supervisor.run_tick sup router
+  done;
+  Alcotest.(check int) "exactly one heal" 1 !healed;
+  Alcotest.(check int) "a promotion, not a copy" 1 (Router.promotions router);
+  Alcotest.(check bool) "replica retired" false (Replica.replicated reps ~slot:0);
+  (match Router.slots_of_shard router with
+  | [| 0; 2 |] -> ()
+  | a ->
+      Alcotest.failf "shard 0 not evacuated: slots=[%s]"
+        (String.concat ";" (Array.to_list (Array.map string_of_int a))));
+  (* Recovery is complete without operator intervention: the evacuated
+     corpse no longer degrades overall health, and every key serves
+     fresh from the new owner with its replicated value. *)
+  let line = Health.line router in
+  Alcotest.(check bool)
+    (Printf.sprintf "health back to ok (%s)" line)
+    true
+    (String.length line >= 3 && String.sub line 0 3 = "ok ");
+  List.iter
+    (fun k ->
+      Alcotest.check outcome
+        (Printf.sprintf "key %d fresh from the new owner" k)
+        (Svc.Served true)
+        (Router.call router (Svc.Find k));
+      Alcotest.(check (option int))
+        (Printf.sprintf "key %d value survived" k)
+        (Some (k + 100))
+        (Hashtbl.find_opt tbs.(1).h k))
+    keys;
+  (* The serve loop's flight-dump feed saw the heal begin and end. *)
+  let evs = Supervisor.events sup in
+  Alcotest.(check bool) "heal begun event (promote)" true
+    (List.exists
+       (function
+         | Supervisor.Heal_begun { e_shard = 0; e_via = Supervisor.Promote; _ }
+           ->
+             true
+         | _ -> false)
+       evs);
+  Alcotest.(check bool) "heal ended ok" true
+    (List.exists
+       (function
+         | Supervisor.Heal_ended { e_ok = true; e_moved; _ } ->
+             e_moved = List.length keys
+         | _ -> false)
+       evs)
+
+(* --- Hedged reads racing a live handoff ------------------------------- *)
+
+(* A reader forced down the hedge path (shed rejects reads at the door,
+   the router retries them straight at the backend) races a writer
+   bumping one key's value while the main thread hands the key's slot
+   over.  The inflight mark taken at [begin_op] pins the key's owner for
+   the whole call, and a key is copied only once its inflight count
+   drains — so no read may observe state older than the copy watermark:
+   per reader, observed values never go backwards, and the key never
+   vanishes once seen.  Values are observed at the backend seam (the
+   hedge reads it directly), keyed by domain so the migrator's own copy
+   reads are excluded. *)
+let test_hedged_read_vs_handoff =
+  Support.qcheck ~count:15 "hedge vs handoff: never behind the drain watermark"
+    QCheck2.Gen.(pair (0 -- 1000) (0 -- 7))
+    (fun (seed, key) ->
+      let clock = Clock.real () in
+      let shards = 2 in
+      let ring = Hash_ring.create ~seed ~shards () in
+      let mu = Mutex.create () in
+      let log = ref [] in
+      let hs = Array.init shards (fun _ -> Hashtbl.create 32) in
+      (* Replace-semantics stores: insert overwrites, so the writer's
+         monotone values are directly the linearization order. *)
+      let backend i =
+        let h = hs.(i) in
+        {
+          Router.insert =
+            (fun k v ->
+              Mutex.lock mu;
+              Hashtbl.replace h k v;
+              Mutex.unlock mu;
+              true);
+          delete =
+            (fun k ->
+              Mutex.lock mu;
+              let r = Hashtbl.mem h k in
+              Hashtbl.remove h k;
+              Mutex.unlock mu;
+              r);
+          find =
+            (fun k ->
+              Mutex.lock mu;
+              let r = Hashtbl.find_opt h k in
+              log :=
+                ((Domain.self () :> int), Option.value r ~default:0) :: !log;
+              Mutex.unlock mu;
+              r);
+          batched = None;
+        }
+      in
+      let cfg _ =
+        Svc.config ~clock
+          ~shed:(Some (Lf_svc.Shed.config ~max_queue:8 ()))
+          ()
+      in
+      let router = Router.create ~ring ~svc_config:cfg backend in
+      let slot = Hash_ring.slot_of ring key in
+      let to_ = 1 - Hash_ring.owner ring slot in
+      let stop = Atomic.make false in
+      let writer =
+        Domain.spawn (fun () ->
+            let v = ref 1 in
+            while not (Atomic.get stop) do
+              (match Router.call router (Svc.Insert (key, !v)) with
+              | Svc.Served _ -> incr v
+              | _ -> ());
+              Domain.cpu_relax ()
+            done)
+      in
+      let reader =
+        Domain.spawn (fun () ->
+            let id = (Domain.self () :> int) in
+            let ok = ref true in
+            for _ = 1 to 300 do
+              (match Router.call router ~queue_depth:1_000 (Svc.Find key) with
+              | Svc.Served _ -> ()
+              | _ -> ok := false);
+              Domain.cpu_relax ()
+            done;
+            (id, !ok))
+      in
+      Unix.sleepf 0.001;
+      let moved = Router.rebalance router ~slot ~to_ ~key_range:8 in
+      let reader_id, reads_served = Domain.join reader in
+      Atomic.set stop true;
+      Domain.join writer;
+      let observed =
+        List.rev_map snd
+          (List.filter (fun (d, _) -> d = reader_id) !log)
+      in
+      (* Monotone: once a value (or presence) is observed, no later read
+         may fall behind it — the handoff never exposes pre-copy
+         state. *)
+      let monotone =
+        fst
+          (List.fold_left
+             (fun (ok, prev) v -> (ok && v >= prev, max prev v))
+             (true, 0) observed)
+      in
+      let hedged =
+        Array.fold_left (fun a (att, _) -> a + att) 0
+          (Router.hedge_stats router)
+      in
+      moved >= 0 && reads_served && monotone && hedged > 0
+      && observed <> [])
 
 let test_health_and_metrics () =
   let router, ring, tbs = plain_router ~shards:2 ~seed:8 () in
@@ -521,6 +1108,9 @@ let () =
           test_rebalance_conservation;
           Alcotest.test_case "per-key linearizability across a handoff"
             `Quick test_linearizable_across_rebalance;
+          Alcotest.test_case "abort journaled, watermark kept, resume" `Quick
+            test_abort_and_resume;
+          test_hedged_read_vs_handoff;
         ] );
       ( "chaos",
         [
@@ -528,6 +1118,28 @@ let () =
             test_chaos_shard_targeted_stall;
         ] );
       ( "health",
-        [ Alcotest.test_case "line + metrics exposition" `Quick
-            test_health_and_metrics ] );
+        [
+          Alcotest.test_case "line + metrics exposition" `Quick
+            test_health_and_metrics;
+          Alcotest.test_case "breaker-open anomaly fires once" `Quick
+            test_monitor_no_double_fire;
+        ] );
+      ( "replica",
+        [
+          Alcotest.test_case "journal, budgeted apply, lag" `Quick
+            test_replica_journal_and_lag;
+          Alcotest.test_case "failover reads are stale-tagged" `Quick
+            test_replica_failover_stale_tagged;
+        ] );
+      ( "supervisor",
+        [
+          Alcotest.test_case "hysteresis and exponential backoff" `Quick
+            test_supervisor_hysteresis_and_backoff;
+          Alcotest.test_case "shed-rate sickness, SLO fast burn" `Quick
+            test_supervisor_shed_sick_and_fast_burn;
+          Alcotest.test_case "resume priority and promote targeting" `Quick
+            test_supervisor_resume_priority_and_promote_target;
+          Alcotest.test_case "promotes a replica off a dead shard" `Quick
+            test_supervisor_promotes_off_dead_shard;
+        ] );
     ]

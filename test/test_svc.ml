@@ -205,7 +205,8 @@ let test_shed_invariant =
               if !execs <> before then ok := false;
               (* ...and dead-on-arrival must be refused as Expired. *)
               if expired_now && r <> Svc.Expired then ok := false
-          | Svc.Served _ | Svc.Failed _ -> if expired_now then ok := false)
+          | Svc.Served _ | Svc.Served_stale _ | Svc.Failed _ ->
+              if expired_now then ok := false)
         script;
       !ok && not !violated)
 
@@ -461,6 +462,28 @@ let test_wire_format_multi () =
   Alcotest.(check string) "empty outcome list" "MULTI 0 "
     (Wire.format_multi [])
 
+(* The staleness contract on the wire: a replica-served read is always
+   an explicit STALE line (single op) or stale:* token (batch) carrying
+   its lag — never formatted as a fresh answer. *)
+let test_wire_stale_and_heal_verbs () =
+  (match cmd_ok "REPLICAS" with
+  | Wire.Replicas -> ()
+  | _ -> Alcotest.fail "REPLICAS parsed wrong");
+  (match cmd_ok "heal" with
+  | Wire.Heal -> ()
+  | _ -> Alcotest.fail "HEAL parsed wrong");
+  ignore (cmd_err "REPLICAS 1");
+  ignore (cmd_err "HEAL now");
+  Alcotest.(check string) "stale single-op line" "STALE true lag=3"
+    (Wire.format_outcome (Svc.Served_stale (true, 3)));
+  Alcotest.(check string) "stale miss keeps the tag" "STALE false lag=0"
+    (Wire.format_outcome (Svc.Served_stale (false, 0)));
+  Alcotest.(check string) "stale batch tokens carry the lag"
+    "MULTI 3 stale:t:3 stale:f:0 t"
+    (Wire.format_multi
+       [ Svc.Served_stale (true, 3); Svc.Served_stale (false, 0);
+         Svc.Served true ])
+
 (* --- Chaos through the full pipeline (EXP-18 meets EXP-20) ------------ *)
 
 module K = Lf_kernel.Ordered.Int
@@ -498,7 +521,7 @@ let test_chaos_through_svc () =
       }
   in
   let to_bool = function
-    | Svc.Served b -> b
+    | Svc.Served b | Svc.Served_stale (b, _) -> b
     | Svc.Rejected _ -> Atomic.incr rejections; false
     | Svc.Failed _ -> false
   in
@@ -613,6 +636,8 @@ let () =
           Alcotest.test_case "MGET/MSET/KILL parse + malformed batches" `Quick
             test_wire_batches;
           Alcotest.test_case "MULTI formatting" `Quick test_wire_format_multi;
+          Alcotest.test_case "STALE tokens + REPLICAS/HEAL verbs" `Quick
+            test_wire_stale_and_heal_verbs;
         ] );
       ( "chaos",
         [

@@ -13,8 +13,8 @@ module FM = Lf_fault.Fault_mem.Make (Lf_kernel.Atomic_mem) (* EXPECT: no-fault-h
 
 type exec_holder = { e : Lf_fault.Fault.exec } (* EXPECT: no-fault-hooks *)
 
-let stall () = Unix.sleepf 0.01 (* EXPECT: no-fault-hooks *)
-let stall_s () = Unix.sleep 1 (* EXPECT: no-fault-hooks *)
+let stall () = Unix.sleepf 0.01 (* EXPECT: no-fault-hooks no-policy-sleep *)
+let stall_s () = Unix.sleep 1 (* EXPECT: no-fault-hooks no-policy-sleep *)
 
 (* The seam way is fine: pause goes through the memory, so Fault_mem and
    the simulator observe it.  No marker here. *)

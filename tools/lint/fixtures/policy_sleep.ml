@@ -1,0 +1,24 @@
+(* Fixture for [no-policy-sleep]: literal sleeps inside policy state
+   machines (breaker, shed, the shard supervisor) block the lane and
+   break simulated-clock replay — pacing must be Clock-seam tick
+   arithmetic.  [Unix.sleep]/[sleepf] also trip [no-fault-hooks] (a
+   hand-rolled stall is an injection); [Thread.delay] is policy-sleep
+   only. *)
+
+let poll_pause () = Unix.sleepf 0.1 (* EXPECT: no-fault-hooks no-policy-sleep *)
+
+let backoff_wait n =
+  Unix.sleep n (* EXPECT: no-fault-hooks no-policy-sleep *)
+
+let settle () = Thread.delay 0.05 (* EXPECT: no-policy-sleep *)
+
+(* Passed bare, not applied: still a reference to the sleeping
+   primitive from policy code. *)
+let waiter : float -> unit = Thread.delay (* EXPECT: no-policy-sleep *)
+
+(* The sanctioned shape: the policy computes a deadline in ticks and
+   compares clock readings; the harness owns any actual waiting.  No
+   marker here. *)
+let due ~now ~next_try = now >= next_try
+
+let _ = (poll_pause, backoff_wait, settle, waiter, due)

@@ -86,6 +86,17 @@
      span leaked on an exception path drops exactly the anomalous
      request the recorder exists to capture.
 
+   - [no-policy-sleep]: the policy layers ([lib/svc/], [lib/shard/]) —
+     breaker, shed, retry pacing, the shard supervisor — must pace
+     themselves by comparing Clock-seam ticks ([poll_every], backoff
+     deadlines as tick arithmetic), never by sleeping.  A
+     [Unix.sleep]/[sleepf]/[Thread.delay] inside a policy state machine
+     blocks the caller's lane, skews every decision it shares a mutex
+     with, and makes replay diverge from production (the simulated
+     clock cannot advance through a real sleep).  Injected backoff
+     closures (bench/bin hand one in) are the sanctioned escape hatch:
+     the *policy* computes the delay, the *harness* decides how to wait.
+
    The rules are path-scoped and a small waiver table exempts known-benign
    files, each with a reason that is printed if the waiver is ever reported. *)
 
@@ -102,6 +113,7 @@ let rule_bare_atomic = "no-bare-atomic"
 let rule_hot_alloc = "no-hot-alloc"
 let rule_cross_shard = "no-cross-shard-state"
 let rule_orphan_span = "no-orphan-span"
+let rule_policy_sleep = "no-policy-sleep"
 let rule_parse_error = "parse-error"
 
 (* Directories where shared cells are allowed to be raw atomics: the kernel
@@ -158,6 +170,13 @@ let cross_shard_scope_prefixes = [ "lib/shard/" ]
    capture.  Syntactic, at binding granularity: a binding that opens must
    also close (or delegate closing to [Fun.protect ~finally]). *)
 let orphan_span_scope_prefixes = [ "lib/svc/"; "lib/shard/" ]
+
+(* The policy layers: every state machine in them (breaker, shed, retry
+   pacing, the shard supervisor) paces itself with Clock-seam tick
+   comparisons so decisions replay under the simulator.  A literal sleep
+   in policy code blocks the lane and breaks replay; waiting is the
+   harness's job, via the injected backoff closure. *)
+let policy_sleep_scope_prefixes = [ "lib/svc/"; "lib/shard/" ]
 
 (* file, rule, reason.  Waivers are deliberate, reviewed exceptions. *)
 let waivers =
@@ -245,6 +264,11 @@ let waivers =
       rule_raw_atomic,
       "per-shard goodput counters on the measurement side of the shard \
        router; never part of a structure's protocol" );
+    ( "bench/exp25.ml",
+      rule_raw_atomic,
+      "goodput time-buckets, stale-read counter and the fault timestamp \
+       on the measurement side of the self-healing harness; never part \
+       of a structure's protocol" );
     ( "lib/shard/router.ml",
       rule_cross_shard,
       "the rebalance decision journal: a bounded, process-wide log of \
@@ -286,6 +310,8 @@ let rule_active ~all path rule =
        has_prefix path cross_shard_scope_prefixes
      else if String.equal rule rule_orphan_span then
        has_prefix path orphan_span_scope_prefixes
+     else if String.equal rule rule_policy_sleep then
+       has_prefix path policy_sleep_scope_prefixes
      else true
 
 open Parsetree
@@ -353,6 +379,18 @@ let fault_msg =
 let lid_is_unix_sleep = function
   | Longident.Ldot (Longident.Lident "Unix", ("sleep" | "sleepf")) -> true
   | _ -> false
+
+let lid_is_thread_delay = function
+  | Longident.Ldot (Longident.Lident "Thread", "delay") -> true
+  | _ -> false
+
+let policy_sleep_msg =
+  "sleeping inside policy code; breaker/shed/supervisor state machines must \
+   pace themselves by comparing Clock-seam ticks (poll_every gates, backoff \
+   deadlines as tick arithmetic) so decisions replay under the simulated \
+   clock — never Unix.sleep/sleepf or Thread.delay.  If a caller must wait, \
+   compute the delay in the policy and hand the waiting to an injected \
+   backoff closure in the harness"
 
 (* Clock reads and recorder references.  [Unix.sleep]/[sleepf] stay with
    [no-fault-hooks]: they are delays, not measurements. *)
@@ -608,6 +646,8 @@ let check_file ~all path =
     if lid_is_dls lid then report loc rule_raw_dls dls_msg;
     if String.equal (root_of_lid lid) "Lf_fault" || lid_is_unix_sleep lid then
       report loc rule_fault_hooks fault_msg;
+    if lid_is_unix_sleep lid || lid_is_thread_delay lid then
+      report loc rule_policy_sleep policy_sleep_msg;
     if lid_is_timing lid then report loc rule_timing timing_msg;
     (match lid with
     | Longident.Ldot (Lident "Obj", "magic") ->
